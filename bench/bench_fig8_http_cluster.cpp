@@ -1,0 +1,53 @@
+// Figure 8: HTTP server performance — served requests/s versus offered load
+// for the four configurations of paper §3.2.
+//
+// Claims to reproduce:
+//   * curve (b) ASP gateway  ~= curve (c) built-in C gateway,
+//   * the 2-server cluster serves ~1.75x the load of a single server,
+//   * and ~85% of two servers with disjoint client sets (the gateway is the
+//     contention point).
+#include <cstdio>
+
+#include "apps/http/experiment.hpp"
+
+int main() {
+  using namespace asp::apps;
+
+  const int kMachines[] = {1, 2, 4, 6, 8};
+  const double kDuration = 20.0;
+
+  std::printf("=== Figure 8: HTTP cluster throughput (requests/s) ===\n");
+  std::printf("closed-loop clients, 4 processes per client machine, 20 s runs\n\n");
+  std::printf("%10s %14s %14s %16s %14s\n", "machines", "single (a)", "ASP gw (b)",
+              "builtin-C gw (c)", "disjoint");
+
+  double peak_single = 0, peak_asp = 0, peak_builtin = 0, peak_disjoint = 0;
+  for (int m : kMachines) {
+    double rps[4] = {0, 0, 0, 0};
+    const HttpConfig cfgs[] = {HttpConfig::kSingleServer, HttpConfig::kAspGateway,
+                               HttpConfig::kBuiltinGateway, HttpConfig::kDisjoint};
+    for (int i = 0; i < 4; ++i) {
+      HttpExperiment::Options opts;
+      opts.config = cfgs[i];
+      opts.client_machines = m;
+      opts.processes_per_machine = 4;
+      opts.trace_accesses = 80'000;
+      HttpExperiment exp(opts);
+      rps[i] = exp.run(kDuration).requests_per_sec;
+    }
+    std::printf("%10d %14.1f %14.1f %16.1f %14.1f\n", m, rps[0], rps[1], rps[2], rps[3]);
+    peak_single = std::max(peak_single, rps[0]);
+    peak_asp = std::max(peak_asp, rps[1]);
+    peak_builtin = std::max(peak_builtin, rps[2]);
+    peak_disjoint = std::max(peak_disjoint, rps[3]);
+  }
+
+  std::printf("\nsaturation summary:\n");
+  std::printf("  ASP gateway vs built-in C gateway : %.3f  (paper: ~1.0)\n",
+              peak_asp / peak_builtin);
+  std::printf("  cluster vs single server          : %.2fx (paper: 1.75x)\n",
+              peak_asp / peak_single);
+  std::printf("  cluster vs disjoint two servers   : %.0f%%  (paper: ~85%%)\n",
+              100.0 * peak_asp / peak_disjoint);
+  return 0;
+}

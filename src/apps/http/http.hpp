@@ -1,0 +1,102 @@
+// HTTP server/client/trace models (paper §3.2).
+//
+// The server is an Apache-1.2.6-like queueing model: a fixed pool of child
+// processes, each serving one request at a time with a size-dependent service
+// time. Clients are closed-loop: each "client process" issues the next trace
+// request as soon as the previous response completes, which is the paper's
+// "clients continuously issue requests so as to measure the maximum load".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace asp::apps {
+
+/// One access of the replayed trace.
+struct TraceEntry {
+  std::string path;
+  std::uint32_t size;  // response body bytes
+};
+
+/// Synthesizes a web trace: Zipf-popular files with log-normal sizes
+/// (cache-defeating spread, like the replayed IRISA trace of 80 000 accesses).
+std::vector<TraceEntry> make_trace(std::size_t accesses, std::size_t files = 2000,
+                                   std::uint32_t seed = 42);
+
+/// Apache-like server model.
+class HttpServer {
+ public:
+  struct Options {
+    int children = 5;                  // Apache 1.2.6 ran "5 to 10 child processes"
+    double fixed_overhead_ms = 14.0;   // parse + fork-pool + syscall path
+    double disk_mbytes_per_sec = 10.0; // size-dependent part
+  };
+
+  HttpServer(asp::net::Node& node, Options opts);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  int busy_children() const { return busy_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    std::shared_ptr<asp::net::TcpConnection> conn;
+    std::uint32_t size;
+  };
+
+  void on_request(std::shared_ptr<asp::net::TcpConnection> conn, const std::string& line);
+  void maybe_start();
+  void finish(const Pending& job);
+
+  asp::net::Node& node_;
+  Options opts_;
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  std::uint64_t served_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Encodes the response size in the path so server and client agree without
+/// shared state: "/f<index>_s<size>".
+std::string trace_path(std::size_t file_index, std::uint32_t size);
+std::uint32_t size_from_path(const std::string& path);
+
+/// A pool of closed-loop client processes replaying a trace.
+class HttpClientPool {
+ public:
+  HttpClientPool(asp::net::Node& node, asp::net::Ipv4Addr server,
+                 std::vector<TraceEntry> trace, int processes);
+
+  void start();
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  double mean_latency_ms() const {
+    return completed_ > 0 ? total_latency_ms_ / static_cast<double>(completed_) : 0;
+  }
+
+ private:
+  void issue(int proc);
+
+  asp::net::Node& node_;
+  asp::net::Ipv4Addr server_;
+  std::vector<TraceEntry> trace_;
+  int processes_;
+  std::size_t next_entry_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  double total_latency_ms_ = 0;
+};
+
+}  // namespace asp::apps

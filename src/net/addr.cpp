@@ -1,0 +1,31 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+
+namespace asp::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& s) {
+  std::uint32_t bits = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    bits = (bits << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr{bits};
+}
+
+std::string Ipv4Addr::str() const {
+  return std::to_string(bits_ >> 24) + '.' + std::to_string((bits_ >> 16) & 0xFF) +
+         '.' + std::to_string((bits_ >> 8) & 0xFF) + '.' + std::to_string(bits_ & 0xFF);
+}
+
+}  // namespace asp::net

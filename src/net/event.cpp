@@ -1,0 +1,44 @@
+#include "net/event.hpp"
+
+#include <cassert>
+
+namespace asp::net {
+
+EventId EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::pop_one() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.time;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && pop_one()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::run_until(SimTime t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (pop_one()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace asp::net

@@ -1,0 +1,68 @@
+// Discrete-event scheduler: the heart of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace asp::net {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// A priority queue of timestamped callbacks. Events at equal times run in
+/// scheduling order (FIFO), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `t` (>= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a no-op.
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs events until the queue is empty or `limit` events have run.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with timestamps <= `t`; afterwards now() == t.
+  std::uint64_t run_until(SimTime t);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// True if no runnable events remain.
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  bool pop_one();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace asp::net

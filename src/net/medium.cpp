@@ -1,0 +1,111 @@
+#include "net/medium.hpp"
+
+#include "net/node.hpp"
+
+namespace asp::net {
+
+void Interface::transmit(Packet p) {
+  if (medium_ == nullptr) return;  // unplugged
+  medium_->transmit(*this, std::move(p));
+}
+
+void PointToPointLink::transmit(Interface& from, Packet p) {
+  int dir = (&from == ends_[0]) ? 0 : 1;
+  Interface* to = ends_[1 - dir];
+  if (to == nullptr) return;
+
+  SimTime now = events_.now();
+  SimTime serialize = tx_time(p.wire_size(), bandwidth_bps_);
+  SimTime start = busy_until_[dir] > now ? busy_until_[dir] : now;
+  // Backlog check: how much queueing (in time) would this packet see?
+  SimTime backlog_limit = tx_time(queue_capacity_, bandwidth_bps_);
+  if (start - now > backlog_limit) {
+    ++dropped_packets_;
+    return;
+  }
+  busy_until_[dir] = start + serialize;
+  std::size_t bytes = p.wire_size();
+  from.note_tx(now, bytes);
+  meter_.record(now, bytes);
+  if (roll_loss()) {
+    ++dropped_packets_;
+    return;
+  }
+  SimTime arrival = busy_until_[dir] + delay_;
+  events_.schedule_at(arrival, [this, to, p = std::move(p)]() mutable {
+    ++delivered_packets_;
+    delivered_bytes_ += p.wire_size();
+    Interface& in = *to;
+    in.node()->receive(std::move(p), in);
+  });
+}
+
+void EthernetSegment::transmit(Interface& from, Packet p) {
+  SimTime now = events_.now();
+  SimTime serialize = tx_time(p.wire_size(), bandwidth_bps_);
+  SimTime start = busy_until_ > now ? busy_until_ : now;
+  SimTime backlog_limit = tx_time(queue_capacity_, bandwidth_bps_);
+  if (start - now > backlog_limit) {
+    ++dropped_packets_;
+    return;
+  }
+  busy_until_ = start + serialize;
+  std::size_t bytes = p.wire_size();
+  from.note_tx(now, bytes);
+  meter_.record(now, bytes);
+  if (roll_loss()) {
+    ++dropped_packets_;
+    return;
+  }
+  SimTime arrival = busy_until_ + delay_;
+  const Interface* sender = &from;
+  events_.schedule_at(arrival, [this, sender, p = std::move(p)]() mutable {
+    deliver(*sender, p);
+  });
+}
+
+void EthernetSegment::deliver(const Interface& from, const Packet& p) {
+  auto hand_to = [&](Interface* iface) {
+    ++delivered_packets_;
+    delivered_bytes_ += p.wire_size();
+    iface->node()->receive(p, *iface);
+  };
+
+  if (p.ip.dst.is_multicast()) {
+    // Broadcast semantics: every other station sees the frame; the node
+    // decides whether it cares (group membership / router / promiscuous).
+    for (Interface* iface : ifaces_) {
+      if (iface != &from) hand_to(iface);
+    }
+    return;
+  }
+
+  Ipv4Addr l2 = p.l2_next_hop.is_unspecified() ? p.ip.dst : p.l2_next_hop;
+  Interface* target = nullptr;
+  for (Interface* iface : ifaces_) {
+    if (iface != &from && iface->addr() == l2) {
+      target = iface;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    // No station owns the L2 address: fall back to the first gateway.
+    for (Interface* iface : ifaces_) {
+      if (iface != &from && iface->gateway()) {
+        target = iface;
+        break;
+      }
+    }
+  }
+  // Promiscuous listeners see every frame regardless of addressing.
+  for (Interface* iface : ifaces_) {
+    if (iface != &from && iface != target && iface->promiscuous()) hand_to(iface);
+  }
+  if (target != nullptr) {
+    hand_to(target);
+  } else {
+    ++dropped_packets_;
+  }
+}
+
+}  // namespace asp::net

@@ -1,0 +1,176 @@
+// Transmission media: point-to-point links and shared Ethernet segments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/meter.hpp"
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace asp::net {
+
+class Node;
+class Medium;
+
+/// A network interface: the attachment point between a Node and a Medium.
+class Interface {
+ public:
+  Interface(Node* node, int index) : node_(node), index_(index) {}
+
+  Node* node() const { return node_; }
+  int index() const { return index_; }
+  Medium* medium() const { return medium_; }
+  void attach(Medium* m) { medium_ = m; }
+
+  /// The node's IP address on this interface.
+  Ipv4Addr addr() const { return addr_; }
+  void set_addr(Ipv4Addr a) { addr_ = a; }
+
+  /// Promiscuous interfaces receive all frames on a shared segment, not just
+  /// those addressed to them (used by the MPEG monitor/capture ASPs, §3.3).
+  bool promiscuous() const { return promiscuous_; }
+  void set_promiscuous(bool p) { promiscuous_ = p; }
+
+  /// Router interfaces pick up frames whose IP destination is off-segment.
+  bool gateway() const { return gateway_; }
+  void set_gateway(bool g) { gateway_ = g; }
+
+  /// Hands a packet to the attached medium for transmission.
+  void transmit(Packet p);
+
+  /// Egress bandwidth accounting (bytes handed to the medium, pre-drop).
+  BandwidthMeter& tx_meter() { return tx_meter_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  void note_tx(SimTime now, std::size_t bytes) {
+    tx_bytes_ += bytes;
+    ++tx_packets_;
+    tx_meter_.record(now, bytes);
+  }
+
+ private:
+  Node* node_;
+  int index_;
+  Medium* medium_ = nullptr;
+  Ipv4Addr addr_;
+  bool promiscuous_ = false;
+  bool gateway_ = false;
+  BandwidthMeter tx_meter_{kNsPerSec / 2};
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t tx_packets_ = 0;
+};
+
+/// Base class for transmission media.
+class Medium {
+ public:
+  Medium(EventQueue& events, std::string name, double bits_per_sec, SimTime delay,
+         std::uint64_t queue_capacity_bytes)
+      : events_(events),
+        name_(std::move(name)),
+        bandwidth_bps_(bits_per_sec),
+        delay_(delay),
+        queue_capacity_(queue_capacity_bytes) {}
+  virtual ~Medium() = default;
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Transmits `p` from interface `from`. May drop on queue overflow.
+  virtual void transmit(Interface& from, Packet p) = 0;
+
+  const std::string& name() const { return name_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  SimTime delay() const { return delay_; }
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+
+  /// Random uniform loss injection (failure testing). Deterministic per
+  /// medium: an xorshift stream seeded at construction.
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+  double loss_rate() const { return loss_rate_; }
+
+  /// Aggregate carried-traffic meter (all senders).
+  BandwidthMeter& meter() { return meter_; }
+
+  /// Current utilization in [0,1]: carried bits over the meter window
+  /// relative to capacity.
+  double utilization() {
+    return meter_.rate_bps(events_.now()) / bandwidth_bps_;
+  }
+
+ protected:
+  /// True if the loss process says this packet dies on the wire.
+  bool roll_loss() {
+    if (loss_rate_ <= 0) return false;
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return static_cast<double>(rng_ % 1'000'000) < loss_rate_ * 1e6;
+  }
+
+  EventQueue& events_;
+  std::string name_;
+  double bandwidth_bps_;
+  SimTime delay_;
+  std::uint64_t queue_capacity_;  // bytes of backlog allowed beyond the wire
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+  double loss_rate_ = 0;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+  BandwidthMeter meter_{kNsPerSec / 2};
+};
+
+/// Full-duplex point-to-point link between exactly two interfaces.
+class PointToPointLink : public Medium {
+ public:
+  PointToPointLink(EventQueue& events, std::string name, double bits_per_sec,
+                   SimTime delay, std::uint64_t queue_capacity_bytes = 64 * 1024)
+      : Medium(events, std::move(name), bits_per_sec, delay, queue_capacity_bytes) {}
+
+  void connect(Interface& a, Interface& b) {
+    ends_[0] = &a;
+    ends_[1] = &b;
+    a.attach(this);
+    b.attach(this);
+  }
+
+  void transmit(Interface& from, Packet p) override;
+
+ private:
+  Interface* ends_[2] = {nullptr, nullptr};
+  SimTime busy_until_[2] = {0, 0};  // per direction
+};
+
+/// Shared half-duplex Ethernet segment: every attached interface contends for
+/// the same capacity; frames are addressed by IP (our L2 is implicit ARP).
+class EthernetSegment : public Medium {
+ public:
+  EthernetSegment(EventQueue& events, std::string name, double bits_per_sec,
+                  SimTime delay = micros(50),
+                  std::uint64_t queue_capacity_bytes = 128 * 1024)
+      : Medium(events, std::move(name), bits_per_sec, delay, queue_capacity_bytes) {}
+
+  void attach(Interface& iface) {
+    ifaces_.push_back(&iface);
+    iface.attach(this);
+  }
+
+  void transmit(Interface& from, Packet p) override;
+
+  const std::vector<Interface*>& interfaces() const { return ifaces_; }
+
+ private:
+  void deliver(const Interface& from, const Packet& p);
+
+  std::vector<Interface*> ifaces_;
+  SimTime busy_until_ = 0;  // shared medium
+};
+
+}  // namespace asp::net

@@ -1,0 +1,57 @@
+// Sliding-window bandwidth measurement.
+//
+// The audio-adaptation ASP (paper §3.1) decides quality from bandwidth
+// measured *locally on the router*, so meters hang off interfaces/segments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/time.hpp"
+
+namespace asp::net {
+
+/// Records (time, bytes) samples and reports the average bit rate over a
+/// trailing window. O(1) amortized per record.
+class BandwidthMeter {
+ public:
+  explicit BandwidthMeter(SimTime window = kNsPerSec) : window_(window) {}
+
+  void record(SimTime t, std::uint64_t bytes) {
+    samples_.push_back({t, bytes});
+    total_bytes_ += bytes;
+    evict(t);
+  }
+
+  /// Average bits/sec over the trailing window ending at `now`.
+  double rate_bps(SimTime now) {
+    evict(now);
+    return static_cast<double>(total_bytes_) * 8.0 / to_seconds(window_);
+  }
+
+  std::uint64_t window_bytes(SimTime now) {
+    evict(now);
+    return total_bytes_;
+  }
+
+  SimTime window() const { return window_; }
+
+ private:
+  void evict(SimTime now) {
+    SimTime cutoff = now > window_ ? now - window_ : 0;
+    while (!samples_.empty() && samples_.front().time < cutoff) {
+      total_bytes_ -= samples_.front().bytes;
+      samples_.pop_front();
+    }
+  }
+
+  struct Sample {
+    SimTime time;
+    std::uint64_t bytes;
+  };
+  SimTime window_;
+  std::deque<Sample> samples_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace asp::net

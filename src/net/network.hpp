@@ -1,0 +1,82 @@
+// Network: owns the event queue, nodes and media, and offers topology helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+
+namespace asp::net {
+
+/// Container/factory for a whole simulated network.
+class Network {
+ public:
+  EventQueue& events() { return events_; }
+  SimTime now() const { return events_.now(); }
+
+  Node& add_node(const std::string& name) {
+    nodes_.push_back(std::make_unique<Node>(events_, name));
+    return *nodes_.back();
+  }
+
+  Node& add_router(const std::string& name) {
+    Node& n = add_node(name);
+    n.set_router(true);
+    return n;
+  }
+
+  /// Creates a point-to-point link and connects fresh interfaces on a and b.
+  PointToPointLink& link(Node& a, Ipv4Addr addr_a, Node& b, Ipv4Addr addr_b,
+                         double bits_per_sec, SimTime delay = micros(100),
+                         std::uint64_t queue_bytes = 64 * 1024) {
+    auto l = std::make_unique<PointToPointLink>(
+        events_, a.name() + "-" + b.name(), bits_per_sec, delay, queue_bytes);
+    Interface& ia = a.add_interface(addr_a);
+    Interface& ib = b.add_interface(addr_b);
+    if (a.router()) ia.set_gateway(true);
+    if (b.router()) ib.set_gateway(true);
+    l->connect(ia, ib);
+    media_.push_back(std::move(l));
+    return static_cast<PointToPointLink&>(*media_.back());
+  }
+
+  /// Creates a shared Ethernet segment.
+  EthernetSegment& segment(const std::string& name, double bits_per_sec,
+                           SimTime delay = micros(50),
+                           std::uint64_t queue_bytes = 128 * 1024) {
+    auto s = std::make_unique<EthernetSegment>(events_, name, bits_per_sec, delay,
+                                               queue_bytes);
+    media_.push_back(std::move(s));
+    return static_cast<EthernetSegment&>(*media_.back());
+  }
+
+  /// Attaches `n` to a segment with address `addr`; returns the interface.
+  Interface& attach(Node& n, EthernetSegment& seg, Ipv4Addr addr) {
+    Interface& i = n.add_interface(addr);
+    if (n.router()) i.set_gateway(true);
+    seg.attach(i);
+    return i;
+  }
+
+  void run_until(SimTime t) { events_.run_until(t); }
+  void run() { events_.run(); }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  EventQueue events_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Medium>> media_;
+};
+
+/// Parses a dotted quad that is known to be valid (test/topology helper).
+inline Ipv4Addr ip(const std::string& s) {
+  auto a = Ipv4Addr::parse(s);
+  return a ? *a : Ipv4Addr{};
+}
+
+}  // namespace asp::net

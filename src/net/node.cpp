@@ -1,0 +1,155 @@
+#include "net/node.hpp"
+
+#include "net/tcp.hpp"
+
+namespace asp::net {
+
+void RoutingTable::add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop) {
+  routes_.push_back(Route{prefix, prefix_len, iface, next_hop});
+}
+
+const Route* RoutingTable::lookup(Ipv4Addr dst) const {
+  const Route* best = nullptr;
+  for (const Route& r : routes_) {
+    if (dst.in_prefix(r.prefix, r.prefix_len)) {
+      if (best == nullptr || r.prefix_len > best->prefix_len) best = &r;
+    }
+  }
+  return best;
+}
+
+UdpSocket::UdpSocket(Node& node, std::uint16_t port, Handler on_packet)
+    : node_(node), port_(port), on_packet_(std::move(on_packet)) {
+  node_.udp_ports_[port_] = this;
+}
+
+UdpSocket::~UdpSocket() { node_.udp_ports_.erase(port_); }
+
+void UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport,
+                        std::vector<std::uint8_t> payload) {
+  Packet p = Packet::make_udp(node_.addr(), dst, port_, dport, std::move(payload));
+  p.id = node_.next_packet_id();
+  node_.send_ip(std::move(p));
+}
+
+Node::Node(EventQueue& events, std::string name)
+    : events_(events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {}
+
+Node::~Node() = default;
+
+Interface& Node::add_interface(Ipv4Addr addr, int prefix_len) {
+  ifaces_.push_back(std::make_unique<Interface>(this, static_cast<int>(ifaces_.size())));
+  ifaces_.back()->set_addr(addr);
+  if (!addr.is_unspecified()) {
+    std::uint32_t mask =
+        prefix_len >= 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> prefix_len);
+    routes_.add(Ipv4Addr{addr.bits() & mask}, prefix_len, ifaces_.back()->index());
+  }
+  return *ifaces_.back();
+}
+
+bool Node::owns(Ipv4Addr a) const {
+  for (const auto& i : ifaces_) {
+    if (i->addr() == a) return true;
+  }
+  return false;
+}
+
+Ipv4Addr Node::addr() const { return ifaces_.empty() ? Ipv4Addr{} : ifaces_[0]->addr(); }
+
+void Node::receive(Packet p, Interface& in) {
+  ++rx_packets_;
+  rx_bytes_ += p.wire_size();
+  if (rx_tap_) rx_tap_(p, in);
+
+  // The PLAN-P layer sees the packet before the standard IP behaviour.
+  if (ip_hook_ && ip_hook_(p, in)) return;
+
+  if (p.ip.dst.is_multicast()) {
+    if (in_group(p.ip.dst)) deliver_local(p);
+    if (router_) {
+      auto it = mroutes_.find(p.ip.dst);
+      if (it != mroutes_.end() && p.ip.ttl > 1) {
+        for (int out : it->second) {
+          if (out == in.index()) continue;
+          Packet copy = p;
+          --copy.ip.ttl;
+          copy.l2_next_hop = Ipv4Addr{};
+          iface(out).transmit(std::move(copy));
+        }
+      }
+    }
+    return;
+  }
+
+  if (owns(p.ip.dst)) {
+    deliver_local(std::move(p));
+    return;
+  }
+
+  if (!router_) return;  // hosts drop transit traffic (non-promiscuous default)
+
+  if (p.ip.ttl <= 1) {
+    ++dropped_ttl_;
+    return;
+  }
+  --p.ip.ttl;
+  forward(std::move(p));
+}
+
+void Node::forward(Packet p) {
+  if (p.ip.dst.is_multicast()) {
+    auto it = mroutes_.find(p.ip.dst);
+    static const std::vector<int> kDefaultOut{0};
+    const std::vector<int>& outs =
+        it != mroutes_.end() ? it->second : kDefaultOut;  // hosts: iface 0
+    if (ifaces_.empty()) {
+      ++dropped_no_route_;
+      return;
+    }
+    for (std::size_t k = 0; k < outs.size(); ++k) {
+      int out = outs[k];
+      Packet copy = p;
+      copy.l2_next_hop = Ipv4Addr{};
+      iface(out).transmit(std::move(copy));
+    }
+    return;
+  }
+  const Route* r = routes_.lookup(p.ip.dst);
+  if (r == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  p.l2_next_hop = r->next_hop;
+  iface(r->iface).transmit(std::move(p));
+}
+
+void Node::send_ip(Packet p) {
+  if (p.id == 0) p.id = next_packet_id();
+  if (owns(p.ip.dst)) {
+    // Loopback.
+    events_.schedule_in(0, [this, p = std::move(p)]() mutable { deliver_local(std::move(p)); });
+    return;
+  }
+  forward(std::move(p));
+}
+
+void Node::deliver_local(Packet p) {
+  ++delivered_packets_;
+  if (p.ip.proto == IpProto::kUdp && p.udp) {
+    auto it = udp_ports_.find(p.udp->dport);
+    if (it != udp_ports_.end()) {
+      it->second->handle(p);
+      return;
+    }
+    ++dropped_no_listener_;
+    return;
+  }
+  if (p.ip.proto == IpProto::kTcp && p.tcp) {
+    if (!tcp_->on_packet(p)) ++dropped_no_listener_;
+    return;
+  }
+  ++dropped_no_listener_;
+}
+
+}  // namespace asp::net

@@ -1,0 +1,168 @@
+// Nodes: hosts and routers with an IP stack that PLAN-P programs can replace.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+
+namespace asp::net {
+
+class Node;
+class TcpStack;
+
+/// One routing table entry. `next_hop` unspecified means the destination is
+/// directly attached to the interface's medium.
+struct Route {
+  Ipv4Addr prefix;
+  int prefix_len = 0;
+  int iface = 0;
+  Ipv4Addr next_hop;
+};
+
+/// Longest-prefix-match routing table.
+class RoutingTable {
+ public:
+  void add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop = {});
+  void add_default(int iface, Ipv4Addr next_hop = {}) { add({}, 0, iface, next_hop); }
+  /// Returns the best route for `dst` or nullptr.
+  const Route* lookup(Ipv4Addr dst) const;
+  const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+/// An unreliable datagram socket bound to a UDP port on a node.
+class UdpSocket {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  UdpSocket(Node& node, std::uint16_t port, Handler on_packet);
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void send_to(Ipv4Addr dst, std::uint16_t dport, std::vector<std::uint8_t> payload);
+  std::uint16_t port() const { return port_; }
+  Node& node() { return node_; }
+  void handle(const Packet& p) { if (on_packet_) on_packet_(p); }
+
+ private:
+  Node& node_;
+  std::uint16_t port_;
+  Handler on_packet_;
+};
+
+/// A simulated machine. A Node with `router()` set forwards IP packets between
+/// its interfaces; hosts only source/sink traffic. The PLAN-P runtime attaches
+/// via `set_ip_hook`, which sees every packet entering the IP layer — exactly
+/// where the paper's Solaris kernel module sits (paper Figure 1).
+class Node {
+ public:
+  /// Hook result: consumed (the ASP handled the packet) or pass-through.
+  using IpHook = std::function<bool(Packet&, Interface&)>;
+
+  Node(EventQueue& events, std::string name);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  EventQueue& events() { return events_; }
+
+  /// Adds an interface with the given IP address; returns it. A connected
+  /// route for the interface subnet (default /24) is installed automatically.
+  Interface& add_interface(Ipv4Addr addr, int prefix_len = 24);
+  Interface& iface(int i) { return *ifaces_.at(i); }
+  std::size_t iface_count() const { return ifaces_.size(); }
+
+  /// True if `a` is one of this node's interface addresses.
+  bool owns(Ipv4Addr a) const;
+  /// The node's primary address (interface 0).
+  Ipv4Addr addr() const;
+
+  void set_router(bool r) { router_ = r; }
+  bool router() const { return router_; }
+
+  RoutingTable& routes() { return routes_; }
+
+  /// IGMP-lite: join/leave a multicast group (hosts).
+  void join_group(Ipv4Addr group) { groups_.insert(group); }
+  void leave_group(Ipv4Addr group) { groups_.erase(group); }
+  bool in_group(Ipv4Addr group) const { return groups_.count(group) > 0; }
+
+  /// Multicast route: packets to `group` are forwarded out of `ifaces`.
+  void add_mroute(Ipv4Addr group, std::vector<int> out_ifaces) {
+    mroutes_[group] = std::move(out_ifaces);
+  }
+
+  /// Installs/clears the PLAN-P intercept for packets entering the IP layer.
+  void set_ip_hook(IpHook hook) { ip_hook_ = std::move(hook); }
+
+  /// Pure observer invoked on every received packet, before the hook
+  /// (measurement taps for experiments; cannot consume or modify).
+  using RxTap = std::function<void(const Packet&, const Interface&)>;
+  void set_rx_tap(RxTap tap) { rx_tap_ = std::move(tap); }
+
+  /// Entry point from a medium: a packet arrived on `in`.
+  void receive(Packet p, Interface& in);
+
+  /// Sends a locally generated IP packet (routes, then transmits). Packets
+  /// addressed to this node loop back to local delivery.
+  void send_ip(Packet p);
+
+  /// Routes and transmits without local-delivery shortcut; used by routers
+  /// and by the runtime's OnRemote.
+  void forward(Packet p);
+
+  TcpStack& tcp() { return *tcp_; }
+
+  /// Hands a packet straight to the local transport layer (UDP/TCP demux),
+  /// bypassing routing and the PLAN-P hook. Used by the runtime's deliver().
+  void deliver_local(Packet p);
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t dropped_no_route() const { return dropped_no_route_; }
+  std::uint64_t dropped_ttl() const { return dropped_ttl_; }
+  std::uint64_t dropped_no_listener() const { return dropped_no_listener_; }
+
+  /// Fresh packet id (node-scoped uniqueness is enough for tracing).
+  std::uint64_t next_packet_id() { return ++packet_seq_; }
+
+ private:
+  friend class UdpSocket;
+
+  EventQueue& events_;
+  std::string name_;
+  std::deque<std::unique_ptr<Interface>> ifaces_;
+  bool router_ = false;
+  RoutingTable routes_;
+  std::set<Ipv4Addr> groups_;
+  std::map<Ipv4Addr, std::vector<int>> mroutes_;
+  IpHook ip_hook_;
+  RxTap rx_tap_;
+  std::map<std::uint16_t, UdpSocket*> udp_ports_;
+  std::unique_ptr<TcpStack> tcp_;
+
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t dropped_no_route_ = 0;
+  std::uint64_t dropped_ttl_ = 0;
+  std::uint64_t dropped_no_listener_ = 0;
+  std::uint64_t packet_seq_ = 0;
+};
+
+}  // namespace asp::net

@@ -1,0 +1,44 @@
+#include "net/packet.hpp"
+
+namespace asp::net {
+
+Packet Packet::make_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
+                        std::uint16_t dport, std::vector<std::uint8_t> payload) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.proto = IpProto::kUdp;
+  p.udp = UdpHeader{sport, dport};
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::make_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& hdr,
+                        std::vector<std::uint8_t> payload) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.proto = IpProto::kTcp;
+  p.tcp = hdr;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, std::vector<std::uint8_t> payload) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.proto = IpProto::kRaw;
+  p.payload = std::move(payload);
+  return p;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string string_of(const std::vector<std::uint8_t>& b) {
+  return {b.begin(), b.end()};
+}
+
+}  // namespace asp::net

@@ -1,0 +1,101 @@
+// Packet model: IPv4 header plus optional TCP/UDP headers and a payload blob.
+//
+// PLAN-P channels pattern-match on the header stack (e.g. a channel over
+// `ip*tcp*blob` sees every TCP packet), so the packet keeps its headers as
+// structured fields rather than raw bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace asp::net {
+
+/// IP protocol numbers we model.
+enum class IpProto : std::uint8_t { kRaw = 0, kTcp = 6, kUdp = 17 };
+
+struct IpHeader {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  IpProto proto = IpProto::kRaw;
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;
+
+  static constexpr std::size_t kWireSize = 20;
+};
+
+/// TCP flag bits.
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflag
+
+struct TcpHeader {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t wnd = 0;
+
+  static constexpr std::size_t kWireSize = 20;
+
+  bool has(std::uint8_t f) const { return (flags & f) != 0; }
+};
+
+struct UdpHeader {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+
+  static constexpr std::size_t kWireSize = 8;
+};
+
+/// A network packet. Copyable (broadcast media copy it per receiver).
+struct Packet {
+  IpHeader ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::vector<std::uint8_t> payload;
+
+  /// PLAN-P user-defined channel tag. Packets sent on a user channel carry the
+  /// channel name so the receiving runtime can dispatch them (paper §2: "When
+  /// packets are sent on a user-defined channel, the packet is tagged").
+  std::string channel;
+
+  /// Unique id for tracing/debugging; assigned by the sender.
+  std::uint64_t id = 0;
+
+  /// Per-hop L2 destination hint set by the sender's route lookup (stands in
+  /// for ARP): on a shared segment the frame is delivered to the interface
+  /// with this address. Unspecified means "resolve by ip.dst".
+  Ipv4Addr l2_next_hop;
+
+  /// Bytes on the wire: headers + payload (+4 for a channel tag when present).
+  std::size_t wire_size() const {
+    std::size_t n = IpHeader::kWireSize + payload.size();
+    if (tcp) n += TcpHeader::kWireSize;
+    if (udp) n += UdpHeader::kWireSize;
+    if (!channel.empty()) n += 4;
+    return n;
+  }
+
+  /// Convenience factories.
+  static Packet make_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
+                         std::uint16_t dport, std::vector<std::uint8_t> payload);
+  static Packet make_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& hdr,
+                         std::vector<std::uint8_t> payload);
+  static Packet make_raw(Ipv4Addr src, Ipv4Addr dst, std::vector<std::uint8_t> payload);
+};
+
+/// Builds a payload from a string (for control messages).
+std::vector<std::uint8_t> bytes_of(const std::string& s);
+/// Interprets a payload as a string.
+std::string string_of(const std::vector<std::uint8_t>& b);
+
+}  // namespace asp::net

@@ -1,0 +1,29 @@
+// Simulation time: 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace asp::net {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kNsPerUs = 1'000;
+inline constexpr SimTime kNsPerMs = 1'000'000;
+inline constexpr SimTime kNsPerSec = 1'000'000'000;
+
+/// Converts seconds (fractional allowed) to SimTime.
+constexpr SimTime seconds(double s) { return static_cast<SimTime>(s * 1e9); }
+/// Converts milliseconds to SimTime.
+constexpr SimTime millis(double ms) { return static_cast<SimTime>(ms * 1e6); }
+/// Converts microseconds to SimTime.
+constexpr SimTime micros(double us) { return static_cast<SimTime>(us * 1e3); }
+/// Converts a SimTime to fractional seconds (for reporting).
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Transmission time of `bytes` over a link of `bits_per_sec` capacity.
+constexpr SimTime tx_time(std::uint64_t bytes, double bits_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bits_per_sec * 1e9);
+}
+
+}  // namespace asp::net

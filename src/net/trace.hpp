@@ -1,0 +1,78 @@
+// Packet tracing: a lightweight tcpdump for the simulator.
+//
+// Attach a PacketTracer to the nodes you care about and every packet entering
+// their IP layer is recorded with a timestamp and a one-line summary.
+// Intended for debugging experiments and for tests that assert on traffic
+// patterns rather than endpoint state.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace asp::net {
+
+/// One-line human-readable packet summary:
+/// "10.0.0.1:4321 > 10.0.0.2:80 tcp S len=0 ttl=64".
+std::string describe(const Packet& p);
+
+struct TraceEvent {
+  SimTime time = 0;
+  std::string node;
+  std::uint64_t packet_id = 0;
+  std::string summary;
+};
+
+class PacketTracer {
+ public:
+  /// Maximum retained events; older ones are discarded (ring semantics).
+  explicit PacketTracer(std::size_t capacity = 100'000) : capacity_(capacity) {}
+
+  /// Starts recording packets arriving at `n`. Uses the node's rx tap;
+  /// replaces any previously installed tap.
+  void attach(Node& n) {
+    n.set_rx_tap([this, name = n.name()](const Packet& p, const Interface&) {
+      record(0, name, p);
+    });
+  }
+
+  /// Records an event explicitly (for senders/custom points).
+  void record(SimTime t, const std::string& node, const Packet& p) {
+    if (events_.size() >= capacity_) {
+      events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(
+                                          capacity_ / 2));
+      ++discarded_;
+    }
+    events_.push_back(TraceEvent{t != 0 ? t : now_(), node, p.id, describe(p)});
+  }
+
+  /// Supplies the clock used when record() is called with t == 0 (typically
+  /// bound to the Network's event queue).
+  void set_clock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+  bool truncated() const { return discarded_ > 0; }
+
+  /// Events whose summary contains `needle`.
+  std::vector<TraceEvent> grep(const std::string& needle) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events_) {
+      if (e.summary.find(needle) != std::string::npos) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Text dump, one event per line: "[12.001934] router  #42 10.0.0.1 > ...".
+  std::string dump() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  int discarded_ = 0;
+  std::function<SimTime()> now_ = [] { return SimTime{0}; };
+};
+
+}  // namespace asp::net

@@ -1,0 +1,54 @@
+// Safety analyses (paper §2.1).
+//
+// Four properties, checked at download time ("late checking"):
+//  1. Local termination — holds by construction: the grammar has no loops and
+//     the checker only resolves calls to previously-defined functions, so the
+//     call graph is a DAG. Reported for completeness.
+//  2. Global termination — packets must not cycle through the network.
+//     We explore the abstract state space (channel, abstract destination),
+//     the paper's r*d*2^d exploration: a potential cycle that *rewrites* the
+//     destination is rejected; destination-preserving cycles are fine because
+//     each hop makes progress under acyclic IP routing.
+//  3. Guaranteed delivery — every terminating execution path performs a
+//     forward/deliver, and no PLAN-P exception can escape unhandled.
+//  4. Linear packet duplication — fix-point over channels: on every execution
+//     path, at most one emitted packet reaches a channel that can itself emit.
+//
+// All analyses are conservative: "false" means "could not prove", not
+// "violates" (the paper: privileged users may load unverified protocols).
+#pragma once
+
+#include <string>
+
+#include "planp/typecheck.hpp"
+
+namespace asp::planp {
+
+struct AnalysisReport {
+  bool local_termination = false;
+  bool global_termination = false;
+  bool guaranteed_delivery = false;
+  bool linear_duplication = false;
+
+  std::string global_termination_detail;
+  std::string delivery_detail;
+  std::string duplication_detail;
+
+  /// States visited by the global-termination exploration (§2.1's r*d*2^d).
+  int states_explored = 0;
+  /// Iterations used by the duplication fix-point.
+  int fixpoint_iterations = 0;
+
+  /// The gate a router applies before accepting a download. Delivery is
+  /// advisory (some protocols legitimately drop); termination and duplication
+  /// are mandatory, as in the paper.
+  bool accepted() const {
+    return local_termination && global_termination && linear_duplication;
+  }
+  bool fully_verified() const { return accepted() && guaranteed_delivery; }
+};
+
+/// Runs all four analyses.
+AnalysisReport analyze(const CheckedProgram& prog);
+
+}  // namespace asp::planp

@@ -1,0 +1,193 @@
+#include "planp/ast.hpp"
+
+namespace asp::planp {
+
+std::vector<const ChannelDef*> Program::channels() const {
+  std::vector<const ChannelDef*> out;
+  for (const auto& d : decls) {
+    if (const auto* c = std::get_if<ChannelDef>(&d)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<const FunDef*> Program::functions() const {
+  std::vector<const FunDef*> out;
+  for (const auto& d : decls) {
+    if (const auto* f = std::get_if<FunDef>(&d)) out.push_back(f);
+  }
+  return out;
+}
+
+const FunDef* Program::find_function(const std::string& name) const {
+  for (const auto& d : decls) {
+    if (const auto* f = std::get_if<FunDef>(&d)) {
+      if (f->name == name) return f;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+void escape_into(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+}
+
+void print(const Expr& e, std::string& out) {
+  using K = Expr::Kind;
+  switch (e.kind) {
+    case K::kIntLit: out += std::to_string(e.int_val); break;
+    case K::kBoolLit: out += e.bool_val ? "true" : "false"; break;
+    case K::kCharLit:
+      out += '\'';
+      if (e.char_val == '\n') out += "\\n";
+      else if (e.char_val == '\t') out += "\\t";
+      else if (e.char_val == '\\') out += "\\\\";
+      else if (e.char_val == '\'') out += "\\'";
+      else out += e.char_val;
+      out += '\'';
+      break;
+    case K::kStringLit:
+      out += '"';
+      escape_into(e.str_val, out);
+      out += '"';
+      break;
+    case K::kHostLit: out += e.host_val.str(); break;
+    case K::kUnitLit: out += "()"; break;
+    case K::kVar: out += e.name; break;
+    case K::kLet:
+      out += "(let val " + e.name + " : " +
+             (e.decl_type != nullptr ? e.decl_type->str() : "?") + " = ";
+      print(*e.args[0], out);
+      out += " in ";
+      print(*e.args[1], out);
+      out += " end)";
+      break;
+    case K::kIf:
+      out += "(if ";
+      print(*e.args[0], out);
+      out += " then ";
+      print(*e.args[1], out);
+      out += " else ";
+      print(*e.args[2], out);
+      out += ")";
+      break;
+    case K::kSeq:
+      out += '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += "; ";
+        print(*e.args[i], out);
+      }
+      out += ')';
+      break;
+    case K::kTuple:
+      out += '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        print(*e.args[i], out);
+      }
+      out += ')';
+      break;
+    case K::kProj:
+      out += '#' + std::to_string(e.proj_index) + ' ';
+      print(*e.args[0], out);
+      break;
+    case K::kCall:
+      out += e.name + '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        print(*e.args[i], out);
+      }
+      out += ')';
+      break;
+    case K::kBinOp:
+      out += '(';
+      print(*e.args[0], out);
+      out += ' ' + e.name + ' ';
+      print(*e.args[1], out);
+      out += ')';
+      break;
+    case K::kUnOp:
+      out += e.name + ' ';
+      print(*e.args[0], out);
+      break;
+    case K::kAnd:
+      out += '(';
+      print(*e.args[0], out);
+      out += " and ";
+      print(*e.args[1], out);
+      out += ')';
+      break;
+    case K::kOr:
+      out += '(';
+      print(*e.args[0], out);
+      out += " or ";
+      print(*e.args[1], out);
+      out += ')';
+      break;
+    case K::kRaise:
+      out += "(raise \"";
+      escape_into(e.str_val, out);
+      out += "\")";
+      break;
+    case K::kTry:
+      out += "(try ";
+      print(*e.args[0], out);
+      out += " with ";
+      print(*e.args[1], out);
+      out += ")";
+      break;
+    case K::kSend:
+      switch (e.send_kind) {
+        case SendKind::kOnRemote: out += "OnRemote(" + e.name + ", "; break;
+        case SendKind::kOnNeighbor: out += "OnNeighbor(" + e.name + ", "; break;
+        case SendKind::kDeliver: out += "deliver("; break;
+        case SendKind::kDrop: out += "drop("; break;
+      }
+      if (!e.args.empty()) print(*e.args[0], out);
+      out += ')';
+      break;
+  }
+}
+}  // namespace
+
+std::string to_string(const Expr& e) {
+  std::string out;
+  print(e, out);
+  return out;
+}
+
+std::string to_string(const Program& p) {
+  std::string out;
+  for (const auto& d : p.decls) {
+    if (const auto* v = std::get_if<ValDef>(&d)) {
+      out += "val " + v->name + " : " + v->type->str() + " = " + to_string(*v->init);
+    } else if (const auto* f = std::get_if<FunDef>(&d)) {
+      out += "fun " + f->name + "(";
+      for (std::size_t i = 0; i < f->params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += f->params[i].first + " : " + f->params[i].second->str();
+      }
+      out += ") : " + f->ret->str() + " = " + to_string(*f->body);
+    } else {
+      const auto& c = std::get<ChannelDef>(d);
+      out += "channel " + c.name + "(" + c.ps_name + " : " + c.ps_type->str() + ", " +
+             c.ss_name + " : " + c.ss_type->str() + ", " + c.p_name + " : " +
+             c.packet_type->str() + ")";
+      if (c.init_state != nullptr) out += "\ninitstate " + to_string(*c.init_state);
+      out += " is\n  " + to_string(*c.body);
+    }
+    out += "\n\n";
+  }
+  return out;
+}
+
+}  // namespace asp::planp

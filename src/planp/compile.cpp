@@ -1,0 +1,463 @@
+#include "planp/compile.hpp"
+
+#include <unordered_map>
+
+namespace asp::planp {
+
+std::size_t CompiledProgram::total_instructions() const {
+  std::size_t n = 0;
+  for (const auto& b : global_inits) n += b.code.size();
+  for (const auto& b : functions) n += b.code.size();
+  for (const auto& b : channel_bodies) n += b.code.size();
+  for (const auto& b : channel_inits) n += b.code.size();
+  return n;
+}
+
+namespace {
+
+BinCode bin_code(const std::string& op) {
+  if (op == "+") return BinCode::kAdd;
+  if (op == "-") return BinCode::kSub;
+  if (op == "*") return BinCode::kMul;
+  if (op == "/") return BinCode::kDiv;
+  if (op == "%") return BinCode::kMod;
+  if (op == "=") return BinCode::kEq;
+  if (op == "<>") return BinCode::kNe;
+  if (op == "<") return BinCode::kLt;
+  if (op == "<=") return BinCode::kLe;
+  if (op == ">") return BinCode::kGt;
+  if (op == ">=") return BinCode::kGe;
+  return BinCode::kConcat;  // "^"
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const CheckedProgram& prog) : prog_(prog) {}
+
+  CompiledProgram run() {
+    out_.source = &prog_;
+    for (const ValDef* v : prog_.globals) {
+      out_.global_inits.push_back(block(*v->init, /*frame_slots=*/8));
+    }
+    for (const FunDef* f : prog_.functions) {
+      out_.functions.push_back(block(*f->body, f->frame_slots));
+    }
+    for (const ChannelDef* c : prog_.channels) {
+      out_.channel_bodies.push_back(block(*c->body, c->frame_slots));
+      if (c->init_state != nullptr) {
+        out_.channel_inits.push_back(block(*c->init_state, /*frame_slots=*/8));
+      } else {
+        out_.channel_inits.push_back(CodeBlock{});
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  CodeBlock block(const Expr& body, int frame_slots) {
+    code_.clear();
+    depth_ = 0;
+    max_depth_ = 0;
+    emit_expr(body);
+    emit(Op::kReturn, 0, 0, -1);
+    CodeBlock b;
+    b.code = std::move(code_);
+    b.frame_slots = frame_slots;
+    b.max_stack = max_depth_ + 4;
+    return b;
+  }
+
+  int emit(Op op, std::int32_t a, std::int32_t b, int stack_delta) {
+    code_.push_back(Instr{op, a, b});
+    depth_ += stack_delta;
+    max_depth_ = std::max(max_depth_, depth_);
+    return static_cast<int>(code_.size()) - 1;
+  }
+
+  std::int32_t constant(Value v) {
+    // Scalars are deduplicated; aggregates appended as-is.
+    for (std::size_t i = 0; i < out_.consts.size(); ++i) {
+      const auto& rep = out_.consts[i].rep();
+      if (rep.index() != v.rep().index()) continue;
+      if (std::holds_alternative<TupleRep>(rep) || std::holds_alternative<TableRef>(rep) ||
+          std::holds_alternative<Blob>(rep)) {
+        continue;
+      }
+      if (out_.consts[i].equals(v)) return static_cast<std::int32_t>(i);
+    }
+    out_.consts.push_back(std::move(v));
+    return static_cast<std::int32_t>(out_.consts.size()) - 1;
+  }
+
+  void patch(int at, std::int32_t target) { code_[static_cast<std::size_t>(at)].a = target; }
+  std::int32_t here() const { return static_cast<std::int32_t>(code_.size()); }
+
+  void emit_expr(const Expr& e) {
+    using K = Expr::Kind;
+    switch (e.kind) {
+      case K::kIntLit:
+        emit(Op::kConst, constant(Value::of_int(e.int_val)), 0, +1);
+        return;
+      case K::kBoolLit:
+        emit(Op::kConst, constant(Value::of_bool(e.bool_val)), 0, +1);
+        return;
+      case K::kCharLit:
+        emit(Op::kConst, constant(Value::of_char(e.char_val)), 0, +1);
+        return;
+      case K::kStringLit:
+        emit(Op::kConst, constant(Value::of_string(e.str_val)), 0, +1);
+        return;
+      case K::kHostLit:
+        emit(Op::kConst, constant(Value::of_host(e.host_val)), 0, +1);
+        return;
+      case K::kUnitLit:
+        emit(Op::kConst, constant(Value::unit()), 0, +1);
+        return;
+
+      case K::kVar:
+        if (is_local_var(e.var_slot)) {
+          emit(Op::kLoadLocal, e.var_slot, 0, +1);
+        } else {
+          emit(Op::kLoadGlobal, global_index(e.var_slot), 0, +1);
+        }
+        return;
+
+      case K::kLet:
+        emit_expr(*e.args[0]);
+        emit(Op::kStoreLocal, e.var_slot, 0, -1);
+        emit_expr(*e.args[1]);
+        return;
+
+      case K::kIf: {
+        emit_expr(*e.args[0]);
+        int jf = emit(Op::kJumpIfFalse, 0, 0, -1);
+        emit_expr(*e.args[1]);
+        int depth_after_then = depth_;
+        int jend = emit(Op::kJump, 0, 0, 0);
+        patch(jf, here());
+        depth_ = depth_after_then - 1;  // else starts from pre-then depth
+        emit_expr(*e.args[2]);
+        patch(jend, here());
+        return;
+      }
+
+      case K::kSeq:
+        for (std::size_t i = 0; i + 1 < e.args.size(); ++i) {
+          emit_expr(*e.args[i]);
+          emit(Op::kPop, 0, 0, -1);
+        }
+        emit_expr(*e.args.back());
+        return;
+
+      case K::kTuple:
+        for (const auto& a : e.args) emit_expr(*a);
+        emit(Op::kMakeTuple, static_cast<std::int32_t>(e.args.size()), 0,
+             1 - static_cast<int>(e.args.size()));
+        return;
+
+      case K::kProj:
+        emit_expr(*e.args[0]);
+        emit(Op::kProj, e.proj_index - 1, 0, 0);
+        return;
+
+      case K::kCall: {
+        for (const auto& a : e.args) emit_expr(*a);
+        int nargs = static_cast<int>(e.args.size());
+        if (is_primitive_call(e.call_target)) {
+          emit(Op::kCallPrim, e.call_target, nargs, 1 - nargs);
+        } else {
+          emit(Op::kCallFun, user_fun_index(e.call_target), nargs, 1 - nargs);
+        }
+        return;
+      }
+
+      case K::kBinOp:
+        emit_expr(*e.args[0]);
+        emit_expr(*e.args[1]);
+        emit(Op::kBinOp, static_cast<std::int32_t>(bin_code(e.name)), 0, -1);
+        return;
+
+      case K::kUnOp:
+        emit_expr(*e.args[0]);
+        emit(e.name == "not" ? Op::kNot : Op::kNeg, 0, 0, 0);
+        return;
+
+      case K::kAnd: {
+        // a and b  ==>  if !a then false else b
+        emit_expr(*e.args[0]);
+        int jf = emit(Op::kJumpIfFalse, 0, 0, -1);
+        emit_expr(*e.args[1]);
+        int jend = emit(Op::kJump, 0, 0, 0);
+        patch(jf, here());
+        --depth_;
+        emit(Op::kConst, constant(Value::of_bool(false)), 0, +1);
+        patch(jend, here());
+        return;
+      }
+
+      case K::kOr: {
+        emit_expr(*e.args[0]);
+        int jt = emit(Op::kJumpIfTrue, 0, 0, -1);
+        emit_expr(*e.args[1]);
+        int jend = emit(Op::kJump, 0, 0, 0);
+        patch(jt, here());
+        --depth_;
+        emit(Op::kConst, constant(Value::of_bool(true)), 0, +1);
+        patch(jend, here());
+        return;
+      }
+
+      case K::kRaise:
+        emit(Op::kRaise, constant(Value::of_string(e.str_val)), 0, +1);
+        return;
+
+      case K::kTry: {
+        int tp = emit(Op::kTryPush, 0, 0, 0);
+        emit_expr(*e.args[0]);
+        emit(Op::kTryPop, 0, 0, 0);
+        int jend = emit(Op::kJump, 0, 0, 0);
+        patch(tp, here());
+        --depth_;  // handler starts from the depth at kTryPush
+        emit_expr(*e.args[1]);
+        patch(jend, here());
+        return;
+      }
+
+      case K::kSend: {
+        if (e.args.empty()) {
+          emit(Op::kConst, constant(Value::unit()), 0, +1);  // drop(): dummy
+        } else {
+          emit_expr(*e.args[0]);
+        }
+        emit(Op::kSend, static_cast<std::int32_t>(e.send_kind),
+             constant(Value::of_string(e.name)), -1);
+        emit(Op::kConst, constant(Value::unit()), 0, +1);
+        return;
+      }
+    }
+    throw EvalBug{"compile: unhandled expression kind"};
+  }
+
+  const CheckedProgram& prog_;
+  CompiledProgram out_;
+  std::vector<Instr> code_;
+  int depth_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace
+
+CompiledProgram compile(const CheckedProgram& prog) { return Compiler(prog).run(); }
+
+// --- VM ----------------------------------------------------------------------
+
+VmEngine::VmEngine(const CompiledProgram& prog, EnvApi& env) : prog_(prog), env_(env) {
+  globals_.reserve(prog_.global_inits.size());
+  for (const CodeBlock& b : prog_.global_inits) {
+    std::vector<Value> locals(static_cast<std::size_t>(b.frame_slots));
+    globals_.push_back(run_block(b, locals));
+  }
+}
+
+Value VmEngine::init_state(int chan_idx) {
+  const CodeBlock& b = prog_.channel_inits.at(static_cast<std::size_t>(chan_idx));
+  if (b.code.empty()) {
+    return default_value(
+        prog_.source->channels.at(static_cast<std::size_t>(chan_idx))->ss_type);
+  }
+  std::vector<Value> locals(static_cast<std::size_t>(b.frame_slots));
+  return run_block(b, locals);
+}
+
+Value VmEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
+                            const Value& packet) {
+  const CodeBlock& b = prog_.channel_bodies.at(static_cast<std::size_t>(chan_idx));
+  std::vector<Value> locals(static_cast<std::size_t>(std::max(b.frame_slots, 3)));
+  locals[0] = ps;
+  locals[1] = ss;
+  locals[2] = packet;
+  return run_block(b, locals);
+}
+
+namespace {
+
+void run_binop(BinCode code, std::vector<Value>& stack) {
+  Value b = std::move(stack.back());
+  stack.pop_back();
+  Value a = std::move(stack.back());
+  stack.pop_back();
+  switch (code) {
+    case BinCode::kAdd: stack.push_back(Value::of_int(a.as_int() + b.as_int())); return;
+    case BinCode::kSub: stack.push_back(Value::of_int(a.as_int() - b.as_int())); return;
+    case BinCode::kMul: stack.push_back(Value::of_int(a.as_int() * b.as_int())); return;
+    case BinCode::kDiv:
+      if (b.as_int() == 0) throw PlanPException{"DivByZero"};
+      stack.push_back(Value::of_int(a.as_int() / b.as_int()));
+      return;
+    case BinCode::kMod:
+      if (b.as_int() == 0) throw PlanPException{"DivByZero"};
+      stack.push_back(Value::of_int(a.as_int() % b.as_int()));
+      return;
+    case BinCode::kEq: stack.push_back(Value::of_bool(a.equals(b))); return;
+    case BinCode::kNe: stack.push_back(Value::of_bool(!a.equals(b))); return;
+    case BinCode::kConcat:
+      stack.push_back(Value::of_string(a.as_string() + b.as_string()));
+      return;
+    default: {
+      int cmp;
+      if (const auto* s = std::get_if<std::string>(&a.rep())) {
+        cmp = s->compare(b.as_string());
+      } else if (const auto* c = std::get_if<char>(&a.rep())) {
+        cmp = *c - b.as_char();
+      } else {
+        std::int64_t x = a.as_int(), y = b.as_int();
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      bool r = code == BinCode::kLt   ? cmp < 0
+               : code == BinCode::kLe ? cmp <= 0
+               : code == BinCode::kGt ? cmp > 0
+                                      : cmp >= 0;
+      stack.push_back(Value::of_bool(r));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Value VmEngine::run_block(const CodeBlock& block, std::vector<Value>& locals) {
+  std::vector<Value> stack;
+  stack.reserve(static_cast<std::size_t>(block.max_stack));
+  struct TryFrame {
+    std::int32_t handler_pc;
+    std::size_t stack_depth;
+  };
+  std::vector<TryFrame> tries;
+  std::size_t pc = 0;
+
+  for (;;) {
+    try {
+      for (;;) {
+        const Instr& in = block.code[pc];
+        ++pc;
+        switch (in.op) {
+          case Op::kConst:
+            stack.push_back(prog_.consts[static_cast<std::size_t>(in.a)]);
+            break;
+          case Op::kLoadLocal:
+            stack.push_back(locals[static_cast<std::size_t>(in.a)]);
+            break;
+          case Op::kStoreLocal:
+            locals[static_cast<std::size_t>(in.a)] = std::move(stack.back());
+            stack.pop_back();
+            break;
+          case Op::kLoadGlobal:
+            stack.push_back(globals_[static_cast<std::size_t>(in.a)]);
+            break;
+          case Op::kJump:
+            pc = static_cast<std::size_t>(in.a);
+            break;
+          case Op::kJumpIfFalse: {
+            bool c = stack.back().as_bool();
+            stack.pop_back();
+            if (!c) pc = static_cast<std::size_t>(in.a);
+            break;
+          }
+          case Op::kJumpIfTrue: {
+            bool c = stack.back().as_bool();
+            stack.pop_back();
+            if (c) pc = static_cast<std::size_t>(in.a);
+            break;
+          }
+          case Op::kPop:
+            stack.pop_back();
+            break;
+          case Op::kDup:
+            stack.push_back(stack.back());
+            break;
+          case Op::kMakeTuple: {
+            std::size_t n = static_cast<std::size_t>(in.a);
+            std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
+                                     stack.end());
+            stack.resize(stack.size() - n);
+            stack.push_back(Value::of_tuple(std::move(elems)));
+            break;
+          }
+          case Op::kProj: {
+            Value t = std::move(stack.back());
+            stack.pop_back();
+            stack.push_back(t.as_tuple()[static_cast<std::size_t>(in.a)]);
+            break;
+          }
+          case Op::kCallPrim: {
+            std::size_t n = static_cast<std::size_t>(in.b);
+            std::vector<Value> args(stack.end() - static_cast<std::ptrdiff_t>(n),
+                                    stack.end());
+            stack.resize(stack.size() - n);
+            stack.push_back(
+                Primitives::instance().at(in.a).fn(env_, args));
+            break;
+          }
+          case Op::kCallFun: {
+            std::size_t n = static_cast<std::size_t>(in.b);
+            const CodeBlock& fb = prog_.functions[static_cast<std::size_t>(in.a)];
+            std::vector<Value> flocals(
+                static_cast<std::size_t>(std::max<int>(fb.frame_slots,
+                                                       static_cast<int>(n))));
+            for (std::size_t i = 0; i < n; ++i) {
+              flocals[n - 1 - i] = std::move(stack.back());
+              stack.pop_back();
+            }
+            stack.push_back(run_block(fb, flocals));
+            break;
+          }
+          case Op::kBinOp:
+            run_binop(static_cast<BinCode>(in.a), stack);
+            break;
+          case Op::kNot: {
+            bool v = stack.back().as_bool();
+            stack.back() = Value::of_bool(!v);
+            break;
+          }
+          case Op::kNeg: {
+            std::int64_t v = stack.back().as_int();
+            stack.back() = Value::of_int(-v);
+            break;
+          }
+          case Op::kRaise:
+            throw PlanPException{
+                prog_.consts[static_cast<std::size_t>(in.a)].as_string()};
+          case Op::kTryPush:
+            tries.push_back(TryFrame{in.a, stack.size()});
+            break;
+          case Op::kTryPop:
+            tries.pop_back();
+            break;
+          case Op::kSend: {
+            Value pkt = std::move(stack.back());
+            stack.pop_back();
+            const std::string& chan =
+                prog_.consts[static_cast<std::size_t>(in.b)].as_string();
+            switch (static_cast<SendKind>(in.a)) {
+              case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
+              case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
+              case SendKind::kDeliver: env_.deliver(pkt); break;
+              case SendKind::kDrop: env_.drop(); break;
+            }
+            break;
+          }
+          case Op::kReturn:
+            return std::move(stack.back());
+        }
+      }
+    } catch (const PlanPException&) {
+      if (tries.empty()) throw;
+      TryFrame t = tries.back();
+      tries.pop_back();
+      stack.resize(t.stack_depth);
+      pc = static_cast<std::size_t>(t.handler_pc);
+    }
+  }
+}
+
+}  // namespace asp::planp

@@ -1,0 +1,180 @@
+#include "planp/interp.hpp"
+
+namespace asp::planp {
+
+Interp::Interp(const CheckedProgram& prog, EnvApi& env) : prog_(prog), env_(env) {
+  globals_.reserve(prog_.globals.size());
+  Frame f;
+  for (const ValDef* v : prog_.globals) {
+    f.slots.clear();
+    globals_.push_back(eval(*v->init, f));
+  }
+}
+
+Value Interp::init_state(int chan_idx) {
+  const ChannelDef& c = *prog_.channels.at(static_cast<std::size_t>(chan_idx));
+  if (c.init_state == nullptr) return default_value(c.ss_type);
+  Frame f;
+  return eval(*c.init_state, f);
+}
+
+Value Interp::run_channel(int chan_idx, const Value& ps, const Value& ss,
+                          const Value& packet) {
+  const ChannelDef& c = *prog_.channels.at(static_cast<std::size_t>(chan_idx));
+  Frame f;
+  f.slots.resize(static_cast<std::size_t>(c.frame_slots));
+  f.slots[0] = ps;
+  f.slots[1] = ss;
+  f.slots[2] = packet;
+  return eval(*c.body, f);
+}
+
+Value Interp::eval_expr(const Expr& e) {
+  Frame f;
+  f.slots.resize(64);  // generous scratch space for test expressions
+  return eval(e, f);
+}
+
+Value Interp::call_function(const FunDef& fun, std::vector<Value> args) {
+  Frame f;
+  f.slots.resize(static_cast<std::size_t>(fun.frame_slots));
+  for (std::size_t i = 0; i < args.size(); ++i) f.slots[i] = std::move(args[i]);
+  return eval(*fun.body, f);
+}
+
+Value Interp::eval(const Expr& e, Frame& f) {
+  using K = Expr::Kind;
+  switch (e.kind) {
+    case K::kIntLit: return Value::of_int(e.int_val);
+    case K::kBoolLit: return Value::of_bool(e.bool_val);
+    case K::kCharLit: return Value::of_char(e.char_val);
+    case K::kStringLit: return Value::of_string(e.str_val);
+    case K::kHostLit: return Value::of_host(e.host_val);
+    case K::kUnitLit: return Value::unit();
+
+    case K::kVar:
+      if (is_local_var(e.var_slot)) {
+        return f.slots[static_cast<std::size_t>(e.var_slot)];
+      }
+      return globals_[static_cast<std::size_t>(global_index(e.var_slot))];
+
+    case K::kLet: {
+      Value v = eval(*e.args[0], f);
+      if (f.slots.size() <= static_cast<std::size_t>(e.var_slot)) {
+        f.slots.resize(static_cast<std::size_t>(e.var_slot) + 1);
+      }
+      f.slots[static_cast<std::size_t>(e.var_slot)] = std::move(v);
+      return eval(*e.args[1], f);
+    }
+
+    case K::kIf:
+      return eval(*e.args[0], f).as_bool() ? eval(*e.args[1], f)
+                                           : eval(*e.args[2], f);
+
+    case K::kSeq: {
+      for (std::size_t i = 0; i + 1 < e.args.size(); ++i) eval(*e.args[i], f);
+      return eval(*e.args.back(), f);
+    }
+
+    case K::kTuple: {
+      std::vector<Value> elems;
+      elems.reserve(e.args.size());
+      for (const auto& a : e.args) elems.push_back(eval(*a, f));
+      return Value::of_tuple(std::move(elems));
+    }
+
+    case K::kProj:
+      return eval(*e.args[0], f).as_tuple()[static_cast<std::size_t>(e.proj_index - 1)];
+
+    case K::kCall: {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(eval(*a, f));
+      if (is_primitive_call(e.call_target)) {
+        return Primitives::instance().at(e.call_target).fn(env_, args);
+      }
+      const FunDef& fun =
+          *prog_.functions[static_cast<std::size_t>(user_fun_index(e.call_target))];
+      return call_function(fun, std::move(args));
+    }
+
+    case K::kBinOp: {
+      const std::string& op = e.name;
+      if (op == "=" || op == "<>") {
+        bool eq = eval(*e.args[0], f).equals(eval(*e.args[1], f));
+        return Value::of_bool(op == "=" ? eq : !eq);
+      }
+      if (op == "^") {
+        std::string s = eval(*e.args[0], f).as_string();
+        return Value::of_string(s + eval(*e.args[1], f).as_string());
+      }
+      if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+        Value a = eval(*e.args[0], f);
+        Value b = eval(*e.args[1], f);
+        int cmp;
+        if (const auto* s = std::get_if<std::string>(&a.rep())) {
+          cmp = s->compare(b.as_string());
+        } else if (const auto* c = std::get_if<char>(&a.rep())) {
+          cmp = *c - b.as_char();
+        } else {
+          std::int64_t x = a.as_int(), y = b.as_int();
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+        }
+        bool r = op == "<" ? cmp < 0 : op == "<=" ? cmp <= 0
+                 : op == ">"         ? cmp > 0
+                                     : cmp >= 0;
+        return Value::of_bool(r);
+      }
+      std::int64_t a = eval(*e.args[0], f).as_int();
+      std::int64_t b = eval(*e.args[1], f).as_int();
+      if (op == "+") return Value::of_int(a + b);
+      if (op == "-") return Value::of_int(a - b);
+      if (op == "*") return Value::of_int(a * b);
+      if (b == 0) throw PlanPException{"DivByZero"};
+      if (op == "/") return Value::of_int(a / b);
+      return Value::of_int(a % b);  // "%"
+    }
+
+    case K::kUnOp:
+      if (e.name == "not") return Value::of_bool(!eval(*e.args[0], f).as_bool());
+      return Value::of_int(-eval(*e.args[0], f).as_int());
+
+    case K::kAnd:
+      return Value::of_bool(eval(*e.args[0], f).as_bool() &&
+                            eval(*e.args[1], f).as_bool());
+    case K::kOr:
+      return Value::of_bool(eval(*e.args[0], f).as_bool() ||
+                            eval(*e.args[1], f).as_bool());
+
+    case K::kRaise:
+      throw PlanPException{e.str_val};
+
+    case K::kTry:
+      try {
+        return eval(*e.args[0], f);
+      } catch (const PlanPException&) {
+        return eval(*e.args[1], f);
+      }
+
+    case K::kSend: {
+      switch (e.send_kind) {
+        case SendKind::kOnRemote:
+          env_.on_remote(e.name, eval(*e.args[0], f));
+          break;
+        case SendKind::kOnNeighbor:
+          env_.on_neighbor(e.name, eval(*e.args[0], f));
+          break;
+        case SendKind::kDeliver:
+          env_.deliver(eval(*e.args[0], f));
+          break;
+        case SendKind::kDrop:
+          env_.drop();
+          break;
+      }
+      return Value::unit();
+    }
+  }
+  throw EvalBug{"unhandled expression kind"};
+}
+
+}  // namespace asp::planp

@@ -1,0 +1,67 @@
+// PLAN-P execution engines.
+//
+// `Engine` is the common interface: given a channel and the current states,
+// process one packet and return the (protocol state, channel state) pair.
+// Three implementations exist, mirroring the paper's architecture:
+//   * Interp (this header)        — portable AST interpreter,
+//   * VmEngine (compile.hpp)      — bytecode VM, the compilation IR,
+//   * JitEngine (jit.hpp)         — run-time-specialized threaded code,
+//                                    the analog of the Tempo-generated JIT.
+#pragma once
+
+#include <memory>
+
+#include "planp/primitives.hpp"
+#include "planp/typecheck.hpp"
+#include "planp/value.hpp"
+
+namespace asp::planp {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Evaluates channel `chan_idx`'s initstate expression (or a type-default).
+  virtual Value init_state(int chan_idx) = 0;
+
+  /// Runs one packet through channel `chan_idx`. Returns the (ps, ss) pair.
+  /// A PLAN-P exception escaping the channel propagates as PlanPException.
+  virtual Value run_channel(int chan_idx, const Value& ps, const Value& ss,
+                            const Value& packet) = 0;
+
+  virtual const CheckedProgram& program() const = 0;
+  virtual const char* engine_name() const = 0;
+};
+
+/// Tree-walking interpreter over the type-annotated AST.
+class Interp : public Engine {
+ public:
+  /// Evaluates top-level `val` definitions immediately (program load time).
+  Interp(const CheckedProgram& prog, EnvApi& env);
+
+  Value init_state(int chan_idx) override;
+  Value run_channel(int chan_idx, const Value& ps, const Value& ss,
+                    const Value& packet) override;
+  const CheckedProgram& program() const override { return prog_; }
+  const char* engine_name() const override { return "interp"; }
+
+  /// Evaluates a bare expression with no locals (tests).
+  Value eval_expr(const Expr& e);
+
+  /// Value of the idx-th top-level `val` (computed at construction).
+  const Value& global(int idx) const { return globals_.at(static_cast<std::size_t>(idx)); }
+
+ private:
+  struct Frame {
+    std::vector<Value> slots;
+  };
+
+  Value eval(const Expr& e, Frame& f);
+  Value call_function(const FunDef& fun, std::vector<Value> args);
+
+  const CheckedProgram& prog_;
+  EnvApi& env_;
+  std::vector<Value> globals_;
+};
+
+}  // namespace asp::planp

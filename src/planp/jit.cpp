@@ -1,0 +1,464 @@
+#include "planp/jit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asp::planp {
+
+namespace {
+
+std::int32_t jop_of_bincode(BinCode c) {
+  switch (c) {
+    case BinCode::kAdd: return jop::kAdd;
+    case BinCode::kSub: return jop::kSub;
+    case BinCode::kMul: return jop::kMul;
+    case BinCode::kDiv: return jop::kDiv;
+    case BinCode::kMod: return jop::kMod;
+    case BinCode::kEq: return jop::kEq;
+    case BinCode::kNe: return jop::kNe;
+    case BinCode::kLt: return jop::kLt;
+    case BinCode::kLe: return jop::kLe;
+    case BinCode::kGt: return jop::kGt;
+    case BinCode::kGe: return jop::kGe;
+    case BinCode::kConcat: return jop::kConcat;
+  }
+  return jop::kAdd;
+}
+
+int compare_values(const Value& a, const Value& b) {
+  if (const auto* s = std::get_if<std::string>(&a.rep())) return s->compare(b.as_string());
+  if (const auto* c = std::get_if<char>(&a.rep())) return *c - b.as_char();
+  std::int64_t x = a.as_int(), y = b.as_int();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace
+
+JitBlock specialize_block(const CodeBlock& block, const CompiledProgram& prog,
+                          bool fuse) {
+  const auto& code = block.code;
+  // Jump targets break fusion windows (a fused pair must not be jumped into
+  // the middle of).
+  std::unordered_set<std::size_t> targets;
+  for (const Instr& in : code) {
+    if (in.op == Op::kJump || in.op == Op::kJumpIfFalse || in.op == Op::kJumpIfTrue ||
+        in.op == Op::kTryPush) {
+      targets.insert(static_cast<std::size_t>(in.a));
+    }
+  }
+
+  JitBlock out;
+  out.frame_slots = block.frame_slots;
+  out.max_stack = block.max_stack;
+  std::vector<std::int32_t> new_pc(code.size() + 1, 0);
+
+  auto konst = [&](std::int32_t idx) -> const Value* {
+    return &prog.consts[static_cast<std::size_t>(idx)];
+  };
+  auto fusible = [&](std::size_t i) { return fuse && targets.count(i) == 0; };
+
+  std::size_t i = 0;
+  while (i < code.size()) {
+    new_pc[i] = static_cast<std::int32_t>(out.code.size());
+    const Instr& in = code[i];
+    SInstr s{};
+
+    // --- superinstruction templates -----------------------------------------
+    // LoadLocal p; Proj f; StoreLocal x   =>  MoveField
+    if (in.op == Op::kLoadLocal && i + 2 < code.size() && fusible(i + 1) &&
+        fusible(i + 2) && code[i + 1].op == Op::kProj &&
+        code[i + 2].op == Op::kStoreLocal) {
+      s.op = jop::kMoveField;
+      s.a = in.a;  // source slot
+      // field index in the low 16 bits, destination slot in the high bits
+      s.b = (code[i + 1].a & 0xFFFF) | (code[i + 2].a << 16);
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      new_pc[i + 2] = new_pc[i];
+      i += 3;
+      continue;
+    }
+    // LoadLocal p; Proj f  =>  ProjLocal
+    if (in.op == Op::kLoadLocal && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kProj) {
+      s.op = jop::kProjLocal;
+      s.a = in.a;
+      s.b = code[i + 1].a;
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+    // LoadLocal x; CallPrim(p, 1)  =>  CallPrim1L
+    if (in.op == Op::kLoadLocal && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kCallPrim && code[i + 1].b == 1) {
+      s.op = jop::kCallPrim1L;
+      s.a = in.a;
+      s.prim = &Primitives::instance().at(code[i + 1].a);
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+    // Const k; BinOp(=)  =>  EqConst
+    if (in.op == Op::kConst && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kBinOp &&
+        static_cast<BinCode>(code[i + 1].a) == BinCode::kEq) {
+      s.op = jop::kEqConst;
+      s.k = konst(in.a);
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+    // LoadLocal x; Return  =>  ReturnLocal
+    if (in.op == Op::kLoadLocal && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kReturn) {
+      s.op = jop::kReturnLocal;
+      s.a = in.a;
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+
+    // --- 1:1 templates ---------------------------------------------------------
+    switch (in.op) {
+      case Op::kConst:
+        s.op = jop::kConst;
+        s.k = konst(in.a);
+        break;
+      case Op::kLoadLocal: s.op = jop::kLoadLocal; s.a = in.a; break;
+      case Op::kStoreLocal: s.op = jop::kStoreLocal; s.a = in.a; break;
+      case Op::kLoadGlobal: s.op = jop::kLoadGlobal; s.a = in.a; break;
+      case Op::kJump: s.op = jop::kJump; s.a = in.a; break;
+      case Op::kJumpIfFalse: s.op = jop::kJumpIfFalse; s.a = in.a; break;
+      case Op::kJumpIfTrue: s.op = jop::kJumpIfTrue; s.a = in.a; break;
+      case Op::kPop: s.op = jop::kPop; break;
+      case Op::kDup: s.op = jop::kDup; break;
+      case Op::kMakeTuple: s.op = jop::kMakeTuple; s.a = in.a; break;
+      case Op::kProj: s.op = jop::kProj; s.a = in.a; break;
+      case Op::kCallPrim:
+        s.op = jop::kCallPrim;
+        s.b = in.b;
+        s.prim = &Primitives::instance().at(in.a);
+        break;
+      case Op::kCallFun: s.op = jop::kCallFun; s.a = in.a; s.b = in.b; break;
+      case Op::kBinOp: s.op = jop_of_bincode(static_cast<BinCode>(in.a)); break;
+      case Op::kNot: s.op = jop::kNot; break;
+      case Op::kNeg: s.op = jop::kNeg; break;
+      case Op::kRaise:
+        s.op = jop::kRaise;
+        s.k = konst(in.a);
+        break;
+      case Op::kTryPush: s.op = jop::kTryPush; s.a = in.a; break;
+      case Op::kTryPop: s.op = jop::kTryPop; break;
+      case Op::kSend:
+        s.op = jop::kSend;
+        s.a = in.a;
+        s.k = konst(in.b);
+        break;
+      case Op::kReturn: s.op = jop::kReturn; break;
+    }
+    out.code.push_back(s);
+    ++i;
+  }
+  new_pc[code.size()] = static_cast<std::int32_t>(out.code.size());
+
+  // Patch jump targets to specialized addresses.
+  for (SInstr& s : out.code) {
+    switch (s.op) {
+      case jop::kJump:
+      case jop::kJumpIfFalse:
+      case jop::kJumpIfTrue:
+      case jop::kTryPush:
+        s.a = new_pc[static_cast<std::size_t>(s.a)];
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
+    : prog_(prog), env_(env) {
+  auto t0 = std::chrono::steady_clock::now();
+  functions_.reserve(prog_.functions.size());
+  for (const CodeBlock& b : prog_.functions) {
+    functions_.push_back(specialize_block(b, prog_, fuse));
+  }
+  channel_bodies_.reserve(prog_.channel_bodies.size());
+  for (const CodeBlock& b : prog_.channel_bodies) {
+    channel_bodies_.push_back(specialize_block(b, prog_, fuse));
+  }
+  channel_inits_.reserve(prog_.channel_inits.size());
+  for (const CodeBlock& b : prog_.channel_inits) {
+    channel_inits_.push_back(specialize_block(b, prog_, fuse));
+  }
+  std::vector<JitBlock> global_blocks;
+  global_blocks.reserve(prog_.global_inits.size());
+  for (const CodeBlock& b : prog_.global_inits) {
+    global_blocks.push_back(specialize_block(b, prog_, fuse));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  stats_.generation_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  stats_.input_instrs = prog_.total_instructions();
+  for (const auto& v : {std::cref(functions_), std::cref(channel_bodies_),
+                        std::cref(channel_inits_), std::cref(global_blocks)}) {
+    for (const JitBlock& b : v.get()) stats_.output_instrs += b.code.size();
+  }
+  stats_.code_bytes = stats_.output_instrs * sizeof(SInstr);
+  if (prog_.source != nullptr) stats_.source_lines = prog_.source->program.source_lines;
+
+  globals_.reserve(global_blocks.size());
+  for (const JitBlock& b : global_blocks) {
+    Buffers& buf = buffer_at(0);
+    buf.locals.assign(static_cast<std::size_t>(std::max(b.frame_slots, 8)), Value{});
+    globals_.push_back(run_block(b, buf));
+  }
+}
+
+JitEngine::Buffers& JitEngine::buffer_at(int depth) {
+  while (depth >= static_cast<int>(pool_.size())) {
+    pool_.push_back(std::make_unique<Buffers>());
+  }
+  return *pool_[static_cast<std::size_t>(depth)];
+}
+
+Value JitEngine::init_state(int chan_idx) {
+  const JitBlock& b = channel_inits_.at(static_cast<std::size_t>(chan_idx));
+  if (b.code.empty()) {
+    return default_value(
+        prog_.source->channels.at(static_cast<std::size_t>(chan_idx))->ss_type);
+  }
+  Buffers& buf = buffer_at(depth_);
+  buf.locals.assign(static_cast<std::size_t>(std::max(b.frame_slots, 8)), Value{});
+  return run_block(b, buf);
+}
+
+Value JitEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
+                             const Value& packet) {
+  const JitBlock& b = channel_bodies_.at(static_cast<std::size_t>(chan_idx));
+  Buffers& buf = buffer_at(depth_);
+  std::size_t slots = static_cast<std::size_t>(std::max(b.frame_slots, 3));
+  buf.locals.resize(slots);
+  buf.locals[0] = ps;
+  buf.locals[1] = ss;
+  buf.locals[2] = packet;
+  return run_block(b, buf);
+}
+
+Value JitEngine::run_block(const JitBlock& block, Buffers& buf) {
+  // Re-entering through kCallFun uses the next pool slot; the guard keeps
+  // depth_ correct even when a PLAN-P exception unwinds through this frame.
+  struct DepthGuard {
+    int& d;
+    explicit DepthGuard(int& depth) : d(depth) { ++d; }
+    ~DepthGuard() { --d; }
+  } guard(depth_);
+
+  std::vector<Value>& locals = buf.locals;
+  std::vector<Value>& stack = buf.stack;
+  stack.clear();
+  stack.reserve(static_cast<std::size_t>(block.max_stack));
+  std::vector<Value>& scratch_args = buf.args;
+  struct TryFrame {
+    std::int32_t handler_pc;
+    std::size_t stack_depth;
+  };
+  std::vector<TryFrame> tries;
+  std::size_t pc = 0;
+
+  for (;;) {
+    try {
+      for (;;) {
+        const SInstr& in = block.code[pc];
+        ++pc;
+        switch (in.op) {
+          case jop::kConst: stack.push_back(*in.k); break;
+          case jop::kLoadLocal:
+            stack.push_back(locals[static_cast<std::size_t>(in.a)]);
+            break;
+          case jop::kStoreLocal:
+            locals[static_cast<std::size_t>(in.a)] = std::move(stack.back());
+            stack.pop_back();
+            break;
+          case jop::kLoadGlobal:
+            stack.push_back(globals_[static_cast<std::size_t>(in.a)]);
+            break;
+          case jop::kJump: pc = static_cast<std::size_t>(in.a); break;
+          case jop::kJumpIfFalse: {
+            bool c = stack.back().as_bool();
+            stack.pop_back();
+            if (!c) pc = static_cast<std::size_t>(in.a);
+            break;
+          }
+          case jop::kJumpIfTrue: {
+            bool c = stack.back().as_bool();
+            stack.pop_back();
+            if (c) pc = static_cast<std::size_t>(in.a);
+            break;
+          }
+          case jop::kPop: stack.pop_back(); break;
+          case jop::kDup: stack.push_back(stack.back()); break;
+          case jop::kMakeTuple: {
+            std::size_t n = static_cast<std::size_t>(in.a);
+            std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
+                                     stack.end());
+            stack.resize(stack.size() - n);
+            stack.push_back(Value::of_tuple(std::move(elems)));
+            break;
+          }
+          case jop::kProj: {
+            Value t = std::move(stack.back());
+            stack.pop_back();
+            stack.push_back(t.as_tuple()[static_cast<std::size_t>(in.a)]);
+            break;
+          }
+          case jop::kCallPrim: {
+            std::size_t n = static_cast<std::size_t>(in.b);
+            scratch_args.assign(stack.end() - static_cast<std::ptrdiff_t>(n),
+                                stack.end());
+            stack.resize(stack.size() - n);
+            stack.push_back(in.prim->fn(env_, scratch_args));
+            break;
+          }
+          case jop::kCallFun: {
+            std::size_t n = static_cast<std::size_t>(in.b);
+            const JitBlock& fb = functions_[static_cast<std::size_t>(in.a)];
+            Buffers& fbuf = buffer_at(depth_);
+            fbuf.locals.resize(static_cast<std::size_t>(
+                std::max<int>(fb.frame_slots, static_cast<int>(n))));
+            for (std::size_t k = 0; k < n; ++k) {
+              fbuf.locals[n - 1 - k] = std::move(stack.back());
+              stack.pop_back();
+            }
+            stack.push_back(run_block(fb, fbuf));
+            break;
+          }
+          case jop::kAdd: {
+            std::int64_t b2 = stack.back().as_int();
+            stack.pop_back();
+            stack.back() = Value::of_int(stack.back().as_int() + b2);
+            break;
+          }
+          case jop::kSub: {
+            std::int64_t b2 = stack.back().as_int();
+            stack.pop_back();
+            stack.back() = Value::of_int(stack.back().as_int() - b2);
+            break;
+          }
+          case jop::kMul: {
+            std::int64_t b2 = stack.back().as_int();
+            stack.pop_back();
+            stack.back() = Value::of_int(stack.back().as_int() * b2);
+            break;
+          }
+          case jop::kDiv: {
+            std::int64_t b2 = stack.back().as_int();
+            stack.pop_back();
+            if (b2 == 0) throw PlanPException{"DivByZero"};
+            stack.back() = Value::of_int(stack.back().as_int() / b2);
+            break;
+          }
+          case jop::kMod: {
+            std::int64_t b2 = stack.back().as_int();
+            stack.pop_back();
+            if (b2 == 0) throw PlanPException{"DivByZero"};
+            stack.back() = Value::of_int(stack.back().as_int() % b2);
+            break;
+          }
+          case jop::kEq: {
+            Value b2 = std::move(stack.back());
+            stack.pop_back();
+            stack.back() = Value::of_bool(stack.back().equals(b2));
+            break;
+          }
+          case jop::kNe: {
+            Value b2 = std::move(stack.back());
+            stack.pop_back();
+            stack.back() = Value::of_bool(!stack.back().equals(b2));
+            break;
+          }
+          case jop::kLt:
+          case jop::kLe:
+          case jop::kGt:
+          case jop::kGe: {
+            Value b2 = std::move(stack.back());
+            stack.pop_back();
+            int cmp = compare_values(stack.back(), b2);
+            bool r = in.op == jop::kLt   ? cmp < 0
+                     : in.op == jop::kLe ? cmp <= 0
+                     : in.op == jop::kGt ? cmp > 0
+                                         : cmp >= 0;
+            stack.back() = Value::of_bool(r);
+            break;
+          }
+          case jop::kConcat: {
+            std::string b2 = stack.back().as_string();
+            stack.pop_back();
+            stack.back() = Value::of_string(stack.back().as_string() + b2);
+            break;
+          }
+          case jop::kNot: stack.back() = Value::of_bool(!stack.back().as_bool()); break;
+          case jop::kNeg: stack.back() = Value::of_int(-stack.back().as_int()); break;
+          case jop::kRaise: throw PlanPException{in.k->as_string()};
+          case jop::kTryPush:
+            tries.push_back(TryFrame{in.a, stack.size()});
+            break;
+          case jop::kTryPop: tries.pop_back(); break;
+          case jop::kSend: {
+            Value pkt = std::move(stack.back());
+            stack.pop_back();
+            const std::string& chan = in.k->as_string();
+            switch (static_cast<SendKind>(in.a)) {
+              case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
+              case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
+              case SendKind::kDeliver: env_.deliver(pkt); break;
+              case SendKind::kDrop: env_.drop(); break;
+            }
+            break;
+          }
+          case jop::kReturn: return std::move(stack.back());
+
+          // --- superinstructions ------------------------------------------------
+          case jop::kProjLocal:
+            stack.push_back(
+                locals[static_cast<std::size_t>(in.a)]
+                    .as_tuple()[static_cast<std::size_t>(in.b)]);
+            break;
+          case jop::kMoveField: {
+            int field = in.b & 0xFFFF;
+            int dst = in.b >> 16;
+            locals[static_cast<std::size_t>(dst)] =
+                locals[static_cast<std::size_t>(in.a)]
+                    .as_tuple()[static_cast<std::size_t>(field)];
+            break;
+          }
+          case jop::kCallPrim1L:
+            scratch_args.assign(1, locals[static_cast<std::size_t>(in.a)]);
+            stack.push_back(in.prim->fn(env_, scratch_args));
+            break;
+          case jop::kEqConst:
+            stack.back() = Value::of_bool(stack.back().equals(*in.k));
+            break;
+          case jop::kReturnLocal:
+            return locals[static_cast<std::size_t>(in.a)];
+
+          default:
+            throw EvalBug{"jit: bad opcode"};
+        }
+      }
+    } catch (const PlanPException&) {
+      if (tries.empty()) throw;
+      TryFrame t = tries.back();
+      tries.pop_back();
+      stack.resize(t.stack_depth);
+      pc = static_cast<std::size_t>(t.handler_pc);
+    }
+  }
+}
+
+}  // namespace asp::planp

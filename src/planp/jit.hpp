@@ -1,0 +1,139 @@
+// Run-time specializer: the JIT analog of the paper's Tempo pipeline.
+//
+// The paper generates a JIT automatically from the interpreter by partial
+// evaluation: at download time, pre-compiled machine-code *templates* are
+// assembled and patched with the program's constants. We reproduce the same
+// architecture one level up: at download time each bytecode block is
+// specialized into threaded code whose instruction templates have
+//   * pre-resolved handler addresses (computed-goto labels / fn dispatch),
+//   * constants patched in as direct pointers (no pool indirection),
+//   * primitive entry points resolved to function pointers,
+//   * common instruction sequences fused into superinstructions
+//     (e.g. `val iph : ip = #1 p` becomes one MoveField template).
+// Code generation is therefore a cheap linear pass — the property Figure 3
+// of the paper measures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "planp/compile.hpp"
+
+namespace asp::planp {
+
+/// Specialized instruction: a patched template.
+struct SInstr {
+  std::int32_t op;  // JOp
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  const Value* k = nullptr;       // patched constant
+  const Primitive* prim = nullptr;  // patched primitive entry point
+};
+
+/// Specialized ops. The first block mirrors Op; the rest are superinstructions
+/// and split arithmetic templates.
+namespace jop {
+enum : std::int32_t {
+  kConst,
+  kLoadLocal,
+  kStoreLocal,
+  kLoadGlobal,
+  kJump,
+  kJumpIfFalse,
+  kJumpIfTrue,
+  kPop,
+  kDup,
+  kMakeTuple,
+  kProj,
+  kCallPrim,
+  kCallFun,
+  kNot,
+  kNeg,
+  kRaise,
+  kTryPush,
+  kTryPop,
+  kSend,
+  kReturn,
+  // split binary ops (template per operator)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,
+  // superinstructions
+  kProjLocal,    // push locals[a].tuple[b]
+  kMoveField,    // locals[b] = locals[a].tuple[k->int]  (fused let-projection)
+  kCallPrim1L,   // push prim(locals[a])
+  kEqConst,      // top = (top == *k)
+  kReturnLocal,  // return locals[a]
+  kCount,
+};
+}  // namespace jop
+
+struct JitBlock {
+  std::vector<SInstr> code;
+  int frame_slots = 0;
+  int max_stack = 0;
+};
+
+/// Statistics from one specialization run (Figure 3 reporting).
+struct CodegenStats {
+  double generation_ms = 0;      // wall time of the specialization pass
+  std::size_t input_instrs = 0;  // bytecode instructions consumed
+  std::size_t output_instrs = 0; // templates emitted (after fusion)
+  std::size_t code_bytes = 0;    // output_instrs * sizeof(SInstr)
+  int source_lines = 0;
+};
+
+/// Specializes one bytecode block. `fuse` disables superinstruction fusion
+/// (ablation: constants and primitives are still patched in).
+JitBlock specialize_block(const CodeBlock& block, const CompiledProgram& prog,
+                          bool fuse = true);
+
+/// The JIT execution engine: specializes the whole program at construction
+/// (this is "code generation time") and runs channels on specialized code.
+class JitEngine : public Engine {
+ public:
+  /// `fuse=false` disables superinstruction fusion (ablation studies).
+  JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse = true);
+
+  Value init_state(int chan_idx) override;
+  Value run_channel(int chan_idx, const Value& ps, const Value& ss,
+                    const Value& packet) override;
+  const CheckedProgram& program() const override { return *prog_.source; }
+  const char* engine_name() const override { return "jit"; }
+
+  const CodegenStats& codegen_stats() const { return stats_; }
+
+ private:
+  /// Per-call-depth buffer pool: avoids allocating fresh locals/stack vectors
+  /// on every packet (part of what run-time specialization buys the paper).
+  struct Buffers {
+    std::vector<Value> locals;
+    std::vector<Value> stack;
+    std::vector<Value> args;
+  };
+
+  Value run_block(const JitBlock& block, Buffers& buf);
+  Buffers& buffer_at(int depth);
+
+  const CompiledProgram& prog_;
+  EnvApi& env_;
+  std::vector<Value> globals_;
+  std::vector<JitBlock> functions_;
+  std::vector<JitBlock> channel_bodies_;
+  std::vector<JitBlock> channel_inits_;
+  std::vector<std::unique_ptr<Buffers>> pool_;
+  int depth_ = 0;
+  CodegenStats stats_;
+};
+
+}  // namespace asp::planp

@@ -1,0 +1,274 @@
+#include "planp/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace asp::planp {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"val", Tok::kVal},          {"fun", Tok::kFun},
+      {"channel", Tok::kChannel},  {"initstate", Tok::kInitstate},
+      {"is", Tok::kIs},            {"let", Tok::kLet},
+      {"in", Tok::kIn},            {"end", Tok::kEnd},
+      {"if", Tok::kIf},            {"then", Tok::kThen},
+      {"else", Tok::kElse},        {"try", Tok::kTry},
+      {"with", Tok::kWith},        {"raise", Tok::kRaise},
+      {"and", Tok::kAnd},          {"or", Tok::kOr},
+      {"not", Tok::kNot},          {"true", Tok::kTrue},
+      {"false", Tok::kFalse},      {"hash_table", Tok::kHashTable},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_ws_and_comments();
+      Loc loc{line_, col_};
+      if (at_end()) {
+        out.push_back({Tok::kEof, loc, "", 0, 0, {}});
+        return out;
+      }
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(number(loc));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(ident(loc));
+      } else if (c == '"') {
+        out.push_back(string_lit(loc));
+      } else if (c == '\'') {
+        out.push_back(char_lit(loc));
+      } else {
+        out.push_back(punct(loc));
+      }
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '-' && peek(1) == '-') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token number(Loc loc) {
+    std::string digits = scan_digits();
+    // A dotted quad? Only if exactly 3 more ".digits" groups follow.
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      std::string quad = digits;
+      for (int part = 0; part < 3; ++part) {
+        if (peek() != '.' || !std::isdigit(static_cast<unsigned char>(peek(1)))) {
+          throw PlanPError("lex", loc, "malformed IP address literal");
+        }
+        advance();  // '.'
+        quad += '.';
+        quad += scan_digits();
+      }
+      auto a = asp::net::Ipv4Addr::parse(quad);
+      if (!a) throw PlanPError("lex", loc, "invalid IP address literal '" + quad + "'");
+      Token t{Tok::kHost, loc, quad, 0, 0, *a};
+      return t;
+    }
+    Token t{Tok::kInt, loc, digits, 0, 0, {}};
+    try {
+      t.int_val = std::stoll(digits);
+    } catch (const std::exception&) {
+      throw PlanPError("lex", loc, "integer literal out of range");
+    }
+    return t;
+  }
+
+  std::string scan_digits() {
+    std::string s;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      s += advance();
+    }
+    return s;
+  }
+
+  Token ident(Loc loc) {
+    std::string s;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      s += advance();
+    }
+    auto it = keywords().find(s);
+    if (it != keywords().end()) return {it->second, loc, s, 0, 0, {}};
+    return {Tok::kIdent, loc, s, 0, 0, {}};
+  }
+
+  Token string_lit(Loc loc) {
+    advance();  // opening quote
+    std::string s;
+    while (!at_end() && peek() != '"') {
+      char c = advance();
+      if (c == '\\' && !at_end()) {
+        char esc = advance();
+        switch (esc) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case '\\': s += '\\'; break;
+          case '"': s += '"'; break;
+          default:
+            throw PlanPError("lex", loc, std::string("unknown escape '\\") + esc + "'");
+        }
+      } else {
+        s += c;
+      }
+    }
+    if (at_end()) throw PlanPError("lex", loc, "unterminated string literal");
+    advance();  // closing quote
+    return {Tok::kString, loc, s, 0, 0, {}};
+  }
+
+  Token char_lit(Loc loc) {
+    advance();  // opening quote
+    if (at_end()) throw PlanPError("lex", loc, "unterminated character literal");
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      char esc = advance();
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '\\': c = '\\'; break;
+        case '\'': c = '\''; break;
+        default:
+          throw PlanPError("lex", loc, std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    if (at_end() || peek() != '\'') {
+      throw PlanPError("lex", loc, "unterminated character literal");
+    }
+    advance();  // closing quote
+    Token t{Tok::kChar, loc, std::string(1, c), 0, c, {}};
+    return t;
+  }
+
+  Token punct(Loc loc) {
+    char c = advance();
+    switch (c) {
+      case '(': return {Tok::kLParen, loc, "(", 0, 0, {}};
+      case ')': return {Tok::kRParen, loc, ")", 0, 0, {}};
+      case ',': return {Tok::kComma, loc, ",", 0, 0, {}};
+      case ';': return {Tok::kSemi, loc, ";", 0, 0, {}};
+      case ':': return {Tok::kColon, loc, ":", 0, 0, {}};
+      case '*': return {Tok::kStar, loc, "*", 0, 0, {}};
+      case '+': return {Tok::kPlus, loc, "+", 0, 0, {}};
+      case '-': return {Tok::kMinus, loc, "-", 0, 0, {}};
+      case '/': return {Tok::kSlash, loc, "/", 0, 0, {}};
+      case '%': return {Tok::kPercent, loc, "%", 0, 0, {}};
+      case '^': return {Tok::kCaret, loc, "^", 0, 0, {}};
+      case '=': return {Tok::kEq, loc, "=", 0, 0, {}};
+      case '#': return {Tok::kHash, loc, "#", 0, 0, {}};
+      case '<':
+        if (peek() == '>') {
+          advance();
+          return {Tok::kNe, loc, "<>", 0, 0, {}};
+        }
+        if (peek() == '=') {
+          advance();
+          return {Tok::kLe, loc, "<=", 0, 0, {}};
+        }
+        return {Tok::kLt, loc, "<", 0, 0, {}};
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return {Tok::kGe, loc, ">=", 0, 0, {}};
+        }
+        return {Tok::kGt, loc, ">", 0, 0, {}};
+      default:
+        throw PlanPError("lex", loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) { return Lexer(src).run(); }
+
+std::string tok_name(Tok t) {
+  switch (t) {
+    case Tok::kInt: return "integer";
+    case Tok::kString: return "string";
+    case Tok::kChar: return "char";
+    case Tok::kHost: return "host literal";
+    case Tok::kIdent: return "identifier";
+    case Tok::kVal: return "'val'";
+    case Tok::kFun: return "'fun'";
+    case Tok::kChannel: return "'channel'";
+    case Tok::kInitstate: return "'initstate'";
+    case Tok::kIs: return "'is'";
+    case Tok::kLet: return "'let'";
+    case Tok::kIn: return "'in'";
+    case Tok::kEnd: return "'end'";
+    case Tok::kIf: return "'if'";
+    case Tok::kThen: return "'then'";
+    case Tok::kElse: return "'else'";
+    case Tok::kTry: return "'try'";
+    case Tok::kWith: return "'with'";
+    case Tok::kRaise: return "'raise'";
+    case Tok::kAnd: return "'and'";
+    case Tok::kOr: return "'or'";
+    case Tok::kNot: return "'not'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kHashTable: return "'hash_table'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kStar: return "'*'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kEq: return "'='";
+    case Tok::kNe: return "'<>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kHash: return "'#'";
+    case Tok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace asp::planp

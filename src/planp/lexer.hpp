@@ -1,0 +1,80 @@
+// PLAN-P lexer. Notable: dotted-quad IP literals ("131.254.60.81") are a
+// single token (the language has no floating point, so digits+dots are
+// unambiguous), and comments run from `--` to end of line, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "planp/ast.hpp"
+
+namespace asp::planp {
+
+enum class Tok {
+  // literals / identifiers
+  kInt,
+  kString,
+  kChar,
+  kHost,
+  kIdent,
+  // keywords
+  kVal,
+  kFun,
+  kChannel,
+  kInitstate,
+  kIs,
+  kLet,
+  kIn,
+  kEnd,
+  kIf,
+  kThen,
+  kElse,
+  kTry,
+  kWith,
+  kRaise,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kHashTable,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kSemi,
+  kColon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kCaret,
+  kEq,
+  kNe,  // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kHash,  // #
+  kEof,
+};
+
+struct Token {
+  Tok kind;
+  Loc loc;
+  std::string text;              // identifier / string body
+  std::int64_t int_val = 0;      // kInt
+  char char_val = 0;             // kChar
+  asp::net::Ipv4Addr host_val;   // kHost
+};
+
+/// Tokenizes `src`. Throws PlanPError on malformed input.
+std::vector<Token> lex(const std::string& src);
+
+/// Human-readable token name (diagnostics).
+std::string tok_name(Tok t);
+
+}  // namespace asp::planp

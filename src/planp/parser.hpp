@@ -1,0 +1,16 @@
+// Recursive-descent parser for PLAN-P.
+#pragma once
+
+#include <string>
+
+#include "planp/ast.hpp"
+
+namespace asp::planp {
+
+/// Parses a full program. Throws PlanPError on syntax errors.
+Program parse(const std::string& source);
+
+/// Parses a single expression (tests / REPL-style experiments).
+ExprPtr parse_expr(const std::string& source);
+
+}  // namespace asp::planp

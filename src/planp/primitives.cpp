@@ -1,0 +1,425 @@
+#include "planp/primitives.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asp::planp {
+
+namespace {
+
+using Args = std::vector<Value>;
+
+[[noreturn]] void raise(const char* name) { throw PlanPException{name}; }
+
+std::int64_t clamp16(std::int64_t v) {
+  return std::clamp<std::int64_t>(v, -32768, 32767);
+}
+
+std::int16_t sample16(const std::vector<std::uint8_t>& pcm, std::size_t i) {
+  // Little-endian 16-bit samples.
+  return static_cast<std::int16_t>(pcm[2 * i] | (pcm[2 * i + 1] << 8));
+}
+
+void put16(std::vector<std::uint8_t>& out, std::int16_t s) {
+  out.push_back(static_cast<std::uint8_t>(s & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((s >> 8) & 0xFF));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> audio_stereo_to_mono16(const std::vector<std::uint8_t>& pcm) {
+  std::vector<std::uint8_t> out;
+  std::size_t frames = pcm.size() / 4;  // L16 + R16
+  out.reserve(frames * 2);
+  for (std::size_t f = 0; f < frames; ++f) {
+    std::int32_t l = sample16(pcm, 2 * f);
+    std::int32_t r = sample16(pcm, 2 * f + 1);
+    put16(out, static_cast<std::int16_t>(clamp16((l + r) / 2)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> audio_mono_to_stereo16(const std::vector<std::uint8_t>& pcm) {
+  std::vector<std::uint8_t> out;
+  std::size_t samples = pcm.size() / 2;
+  out.reserve(samples * 4);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::int16_t s = sample16(pcm, i);
+    put16(out, s);
+    put16(out, s);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> audio_16_to_8(const std::vector<std::uint8_t>& pcm) {
+  std::vector<std::uint8_t> out;
+  std::size_t samples = pcm.size() / 2;
+  out.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Keep the high byte, biased to unsigned (classic 8-bit PCM).
+    out.push_back(static_cast<std::uint8_t>((sample16(pcm, i) >> 8) + 128));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> audio_8_to_16(const std::vector<std::uint8_t>& pcm) {
+  std::vector<std::uint8_t> out;
+  out.reserve(pcm.size() * 2);
+  for (std::uint8_t b : pcm) {
+    put16(out, static_cast<std::int16_t>((static_cast<int>(b) - 128) << 8));
+  }
+  return out;
+}
+
+namespace {
+
+// Shorthand type constructors for signatures.
+TypePtr I() { return Type::Int(); }
+TypePtr B() { return Type::Bool(); }
+TypePtr C() { return Type::Char(); }
+TypePtr S() { return Type::String(); }
+TypePtr U() { return Type::Unit(); }
+TypePtr H() { return Type::Host(); }
+TypePtr BL() { return Type::Blob(); }
+TypePtr IP() { return Type::Ip(); }
+TypePtr TCP() { return Type::Tcp(); }
+TypePtr UDP() { return Type::Udp(); }
+TypePtr VA() { return Type::Var(0); }
+TypePtr VB() { return Type::Var(1); }
+TypePtr TAB() { return Type::Table(Type::Var(0), Type::Var(1)); }
+
+}  // namespace
+
+Primitives::Primitives() {
+  auto add = [this](std::string name, std::vector<TypePtr> params, TypePtr ret,
+                    std::function<Value(EnvApi&, const Args&)> fn,
+                    bool may_raise = false) {
+    int idx = static_cast<int>(prims_.size());
+    by_name_[name].push_back(idx);
+    prims_.push_back(
+        Primitive{std::move(name), std::move(params), std::move(ret), may_raise,
+                  std::move(fn)});
+  };
+
+  // --- output ---------------------------------------------------------------
+  for (TypePtr t : {S(), I(), B(), C(), H()}) {
+    add("print", {t}, U(), [](EnvApi& env, const Args& a) {
+      env.print(a[0].str());
+      return Value::unit();
+    });
+    add("println", {t}, U(), [](EnvApi& env, const Args& a) {
+      env.print(a[0].str() + "\n");
+      return Value::unit();
+    });
+  }
+
+  // --- conversions / scalar helpers ------------------------------------------
+  add("intToString", {I()}, S(),
+      [](EnvApi&, const Args& a) { return Value::of_string(std::to_string(a[0].as_int())); });
+  add("hostToString", {H()}, S(),
+      [](EnvApi&, const Args& a) { return Value::of_string(a[0].as_host().str()); });
+  add("charPos", {C()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<unsigned char>(a[0].as_char()));
+  });
+  add("ord", {C()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<unsigned char>(a[0].as_char()));
+  });
+  add(
+      "chr", {I()}, C(),
+      [](EnvApi&, const Args& a) {
+        std::int64_t v = a[0].as_int();
+        if (v < 0 || v > 255) raise("InvalidChar");
+        return Value::of_char(static_cast<char>(v));
+      },
+      /*may_raise=*/true);
+  add("abs", {I()}, I(), [](EnvApi&, const Args& a) {
+    std::int64_t v = a[0].as_int();
+    return Value::of_int(v < 0 ? -v : v);
+  });
+  add("min", {I(), I()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(std::min(a[0].as_int(), a[1].as_int()));
+  });
+  add("max", {I(), I()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(std::max(a[0].as_int(), a[1].as_int()));
+  });
+  add("stringLen", {S()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<std::int64_t>(a[0].as_string().size()));
+  });
+  add(
+      "substring", {S(), I(), I()}, S(),
+      [](EnvApi&, const Args& a) {
+        const std::string& s = a[0].as_string();
+        std::int64_t from = a[1].as_int(), len = a[2].as_int();
+        if (from < 0 || len < 0 || from + len > static_cast<std::int64_t>(s.size())) {
+          raise("OutOfBounds");
+        }
+        return Value::of_string(s.substr(static_cast<std::size_t>(from),
+                                         static_cast<std::size_t>(len)));
+      },
+      /*may_raise=*/true);
+  add("startsWith", {S(), S()}, B(), [](EnvApi&, const Args& a) {
+    const std::string& s = a[0].as_string();
+    const std::string& pre = a[1].as_string();
+    return Value::of_bool(s.rfind(pre, 0) == 0);
+  });
+  add("strIndex", {S(), S()}, I(), [](EnvApi&, const Args& a) {
+    auto pos = a[0].as_string().find(a[1].as_string());
+    return Value::of_int(pos == std::string::npos ? -1 : static_cast<std::int64_t>(pos));
+  });
+  // ASP extensions (paper §2.3: primitives added when PLAN-P moved from pure
+  // routing to ASPs — protocol text parsing for the MPEG monitor).
+  add(
+      "strWord", {S(), I()}, S(),
+      [](EnvApi&, const Args& a) {
+        const std::string& s = a[0].as_string();
+        std::int64_t want = a[1].as_int();
+        std::size_t pos = 0;
+        std::int64_t idx = 0;
+        while (pos < s.size()) {
+          while (pos < s.size() && s[pos] == ' ') ++pos;
+          std::size_t start = pos;
+          while (pos < s.size() && s[pos] != ' ') ++pos;
+          if (start == pos) break;
+          if (idx == want) return Value::of_string(s.substr(start, pos - start));
+          ++idx;
+        }
+        raise("OutOfBounds");
+      },
+      /*may_raise=*/true);
+  add(
+      "stringToInt", {S()}, I(),
+      [](EnvApi&, const Args& a) {
+        const std::string& s = a[0].as_string();
+        if (s.empty()) raise("BadNumber");
+        std::size_t i = s[0] == '-' ? 1 : 0;
+        if (i == s.size()) raise("BadNumber");
+        std::int64_t v = 0;
+        for (; i < s.size(); ++i) {
+          if (s[i] < '0' || s[i] > '9') raise("BadNumber");
+          v = v * 10 + (s[i] - '0');
+        }
+        return Value::of_int(s[0] == '-' ? -v : v);
+      },
+      /*may_raise=*/true);
+  add(
+      "stringToHost", {S()}, H(),
+      [](EnvApi&, const Args& a) {
+        auto h = asp::net::Ipv4Addr::parse(a[0].as_string());
+        if (!h) raise("BadHost");
+        return Value::of_host(*h);
+      },
+      /*may_raise=*/true);
+
+  // --- hash tables ------------------------------------------------------------
+  add("mkTable", {I()}, TAB(), [](EnvApi&, const Args& a) {
+    return Value::of_table(
+        std::make_shared<HashTable>(static_cast<std::size_t>(std::max<std::int64_t>(
+            1, a[0].as_int()))));
+  });
+  add(
+      "tableGet", {TAB(), VA()}, VB(),
+      [](EnvApi&, const Args& a) {
+        auto v = a[0].as_table()->get(a[1]);
+        if (!v) raise("NotFound");
+        return *v;
+      },
+      /*may_raise=*/true);
+  add("tableSet", {TAB(), VA(), VB()}, U(), [](EnvApi&, const Args& a) {
+    a[0].as_table()->set(a[1], a[2]);
+    return Value::unit();
+  });
+  add("tableMem", {TAB(), VA()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_table()->contains(a[1]));
+  });
+  add("tableRemove", {TAB(), VA()}, U(), [](EnvApi&, const Args& a) {
+    a[0].as_table()->remove(a[1]);
+    return Value::unit();
+  });
+  add("tableSize", {TAB()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<std::int64_t>(a[0].as_table()->size()));
+  });
+  add("tableGetDefault", {TAB(), VA(), VB()}, VB(), [](EnvApi&, const Args& a) {
+    auto v = a[0].as_table()->get(a[1]);
+    return v ? *v : a[2];
+  });
+
+  // --- IP header --------------------------------------------------------------
+  add("ipSrc", {IP()}, H(),
+      [](EnvApi&, const Args& a) { return Value::of_host(a[0].as_ip().src); });
+  add("ipDst", {IP()}, H(),
+      [](EnvApi&, const Args& a) { return Value::of_host(a[0].as_ip().dst); });
+  add("ipSrcSet", {IP(), H()}, IP(), [](EnvApi&, const Args& a) {
+    asp::net::IpHeader h = a[0].as_ip();
+    h.src = a[1].as_host();
+    return Value::of_ip(h);
+  });
+  add("ipDestSet", {IP(), H()}, IP(), [](EnvApi&, const Args& a) {
+    asp::net::IpHeader h = a[0].as_ip();
+    h.dst = a[1].as_host();
+    return Value::of_ip(h);
+  });
+  add("ipProto", {IP()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<std::int64_t>(a[0].as_ip().proto));
+  });
+  add("ipTtl", {IP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_ip().ttl); });
+  add("ipTos", {IP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_ip().tos); });
+  add("ipTosSet", {IP(), I()}, IP(), [](EnvApi&, const Args& a) {
+    asp::net::IpHeader h = a[0].as_ip();
+    h.tos = static_cast<std::uint8_t>(a[1].as_int());
+    return Value::of_ip(h);
+  });
+  add("isMulticast", {H()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_host().is_multicast());
+  });
+  add("hostToInt", {H()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(a[0].as_host().bits());
+  });
+
+  // --- TCP header --------------------------------------------------------------
+  add("tcpSrc", {TCP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_tcp().sport); });
+  add("tcpDst", {TCP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_tcp().dport); });
+  add("tcpSeq", {TCP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_tcp().seq); });
+  add("tcpAckNo", {TCP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_tcp().ack); });
+  add("tcpSrcSet", {TCP(), I()}, TCP(), [](EnvApi&, const Args& a) {
+    asp::net::TcpHeader h = a[0].as_tcp();
+    h.sport = static_cast<std::uint16_t>(a[1].as_int());
+    return Value::of_tcp(h);
+  });
+  add("tcpDstSet", {TCP(), I()}, TCP(), [](EnvApi&, const Args& a) {
+    asp::net::TcpHeader h = a[0].as_tcp();
+    h.dport = static_cast<std::uint16_t>(a[1].as_int());
+    return Value::of_tcp(h);
+  });
+  add("tcpSyn", {TCP()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_tcp().has(asp::net::tcpflag::kSyn));
+  });
+  add("tcpAck", {TCP()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_tcp().has(asp::net::tcpflag::kAck));
+  });
+  add("tcpFin", {TCP()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_tcp().has(asp::net::tcpflag::kFin));
+  });
+  add("tcpRst", {TCP()}, B(), [](EnvApi&, const Args& a) {
+    return Value::of_bool(a[0].as_tcp().has(asp::net::tcpflag::kRst));
+  });
+
+  // --- UDP header --------------------------------------------------------------
+  add("udpSrc", {UDP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_udp().sport); });
+  add("udpDst", {UDP()}, I(),
+      [](EnvApi&, const Args& a) { return Value::of_int(a[0].as_udp().dport); });
+  add("udpSrcSet", {UDP(), I()}, UDP(), [](EnvApi&, const Args& a) {
+    asp::net::UdpHeader h = a[0].as_udp();
+    h.sport = static_cast<std::uint16_t>(a[1].as_int());
+    return Value::of_udp(h);
+  });
+  add("udpDstSet", {UDP(), I()}, UDP(), [](EnvApi&, const Args& a) {
+    asp::net::UdpHeader h = a[0].as_udp();
+    h.dport = static_cast<std::uint16_t>(a[1].as_int());
+    return Value::of_udp(h);
+  });
+
+  // --- blobs ---------------------------------------------------------------------
+  add("blobLen", {BL()}, I(), [](EnvApi&, const Args& a) {
+    return Value::of_int(static_cast<std::int64_t>(a[0].as_blob()->size()));
+  });
+  add(
+      "blobByte", {BL(), I()}, I(),
+      [](EnvApi&, const Args& a) {
+        const auto& b = *a[0].as_blob();
+        std::int64_t i = a[1].as_int();
+        if (i < 0 || i >= static_cast<std::int64_t>(b.size())) raise("OutOfBounds");
+        return Value::of_int(b[static_cast<std::size_t>(i)]);
+      },
+      /*may_raise=*/true);
+  add(
+      "blobSub", {BL(), I(), I()}, BL(),
+      [](EnvApi&, const Args& a) {
+        const auto& b = *a[0].as_blob();
+        std::int64_t from = a[1].as_int(), len = a[2].as_int();
+        if (from < 0 || len < 0 || from + len > static_cast<std::int64_t>(b.size())) {
+          raise("OutOfBounds");
+        }
+        return Value::of_blob(std::vector<std::uint8_t>(
+            b.begin() + from, b.begin() + from + len));
+      },
+      /*may_raise=*/true);
+  add("blobCat", {BL(), BL()}, BL(), [](EnvApi&, const Args& a) {
+    std::vector<std::uint8_t> out = *a[0].as_blob();
+    const auto& b = *a[1].as_blob();
+    out.insert(out.end(), b.begin(), b.end());
+    return Value::of_blob(std::move(out));
+  });
+  add("blobFromString", {S()}, BL(), [](EnvApi&, const Args& a) {
+    const std::string& s = a[0].as_string();
+    return Value::of_blob(std::vector<std::uint8_t>(s.begin(), s.end()));
+  });
+  add("blobToString", {BL()}, S(), [](EnvApi&, const Args& a) {
+    const auto& b = *a[0].as_blob();
+    return Value::of_string(std::string(b.begin(), b.end()));
+  });
+
+  // --- audio transcoding (paper §3.1: degrade 16-bit stereo to 8-bit mono) ----
+  add("audioStereoToMono", {BL()}, BL(), [](EnvApi&, const Args& a) {
+    return Value::of_blob(audio_stereo_to_mono16(*a[0].as_blob()));
+  });
+  add("audioMonoToStereo", {BL()}, BL(), [](EnvApi&, const Args& a) {
+    return Value::of_blob(audio_mono_to_stereo16(*a[0].as_blob()));
+  });
+  add("audio16To8", {BL()}, BL(), [](EnvApi&, const Args& a) {
+    return Value::of_blob(audio_16_to_8(*a[0].as_blob()));
+  });
+  add("audio8To16", {BL()}, BL(), [](EnvApi&, const Args& a) {
+    return Value::of_blob(audio_8_to_16(*a[0].as_blob()));
+  });
+
+  // --- image distillation (paper §5: "integration of image distillation
+  // support into PLAN-P" for low-bandwidth adaptation) -------------------------
+  add(
+      "distillImage", {BL(), I()}, BL(),
+      [](EnvApi&, const Args& a) {
+        const auto& img = *a[0].as_blob();
+        std::int64_t q = a[1].as_int();
+        if (q < 1 || q > 16) raise("BadQuality");
+        if (q == 1) return a[0];
+        std::vector<std::uint8_t> out;
+        out.reserve(img.size() / static_cast<std::size_t>(q) + 1);
+        for (std::size_t i = 0; i < img.size(); i += static_cast<std::size_t>(q)) {
+          out.push_back(img[i]);
+        }
+        return Value::of_blob(std::move(out));
+      },
+      /*may_raise=*/true);
+
+  // --- environment ------------------------------------------------------------
+  add("thisHost", {}, H(),
+      [](EnvApi& env, const Args&) { return Value::of_host(env.this_host()); });
+  add("getTime", {}, I(),
+      [](EnvApi& env, const Args&) { return Value::of_int(env.time_ms()); });
+  add("linkLoad", {}, I(),
+      [](EnvApi& env, const Args&) { return Value::of_int(env.link_load_percent()); });
+  add("linkBandwidth", {}, I(), [](EnvApi& env, const Args&) {
+    return Value::of_int(env.link_bandwidth_kbps());
+  });
+  add("arrivalIface", {}, I(),
+      [](EnvApi& env, const Args&) { return Value::of_int(env.arrival_iface()); });
+}
+
+const Primitives& Primitives::instance() {
+  static const Primitives p;
+  return p;
+}
+
+const std::vector<int>& Primitives::overloads(const std::string& name) const {
+  static const std::vector<int> empty;
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? empty : it->second;
+}
+
+}  // namespace asp::planp

@@ -1,0 +1,119 @@
+// Built-in PLAN-P primitives and the environment interface they run against.
+//
+// The paper (§2.3): "Extending the interpreter with a new primitive involves
+// defining two C functions. One function performs the calculation of the
+// primitive, while the second computes the return type of the primitive given
+// the types of its arguments." Here the two roles are the `fn` member and the
+// signature (with type variables resolved by unification in the checker).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/time.hpp"
+#include "planp/types.hpp"
+#include "planp/value.hpp"
+
+namespace asp::planp {
+
+/// What a running PLAN-P program can observe/do in its host node. Implemented
+/// by the ASP runtime (src/runtime); tests use lightweight fakes.
+class EnvApi {
+ public:
+  virtual ~EnvApi() = default;
+
+  /// `print`/`println` output sink.
+  virtual void print(const std::string& s) = 0;
+  /// `thisHost()`: the node's primary address.
+  virtual asp::net::Ipv4Addr this_host() = 0;
+  /// `getTime()`: current time in milliseconds.
+  virtual std::int64_t time_ms() = 0;
+  /// `linkLoad()`: outgoing link utilization in percent [0,100]. This is the
+  /// local measurement the audio router ASP adapts on (paper §3.1).
+  virtual std::int64_t link_load_percent() = 0;
+  /// `linkBandwidth()`: outgoing link capacity in kb/s.
+  virtual std::int64_t link_bandwidth_kbps() = 0;
+  /// `arrivalIface()`: index of the interface the current packet arrived on
+  /// (-1 for locally generated packets). The PLAN-P Ethernet bridge of the
+  /// authors' earlier work needs this to learn which side a host is on.
+  virtual std::int64_t arrival_iface() = 0;
+
+  // Packet emission, used by the kSend AST node (not by primitives).
+  virtual void on_remote(const std::string& channel, const Value& packet) = 0;
+  virtual void on_neighbor(const std::string& channel, const Value& packet) = 0;
+  virtual void deliver(const Value& packet) = 0;
+  virtual void drop() = 0;
+};
+
+/// EnvApi that ignores sends and collects prints; for tests and pure bench.
+class NullEnv : public EnvApi {
+ public:
+  void print(const std::string& s) override { output += s; }
+  asp::net::Ipv4Addr this_host() override { return host; }
+  std::int64_t time_ms() override { return now_ms; }
+  std::int64_t link_load_percent() override { return load_percent; }
+  std::int64_t link_bandwidth_kbps() override { return bandwidth_kbps; }
+  std::int64_t arrival_iface() override { return arrival; }
+  void on_remote(const std::string& c, const Value& p) override {
+    sends.push_back({c, p});
+  }
+  void on_neighbor(const std::string& c, const Value& p) override {
+    sends.push_back({c, p});
+  }
+  void deliver(const Value& p) override { delivered.push_back(p); }
+  void drop() override { ++drops; }
+
+  std::string output;
+  asp::net::Ipv4Addr host;
+  std::int64_t now_ms = 0;
+  std::int64_t load_percent = 0;
+  std::int64_t bandwidth_kbps = 10'000;
+  std::int64_t arrival = 0;
+  std::vector<std::pair<std::string, Value>> sends;
+  std::vector<Value> delivered;
+  int drops = 0;
+};
+
+/// One primitive overload.
+struct Primitive {
+  std::string name;
+  std::vector<TypePtr> params;  // may contain Type::Var(n)
+  TypePtr ret;
+  bool may_raise = false;  // used by the guaranteed-delivery analysis
+  std::function<Value(EnvApi&, const std::vector<Value>&)> fn;
+};
+
+/// The global primitive table. Indices are stable: Expr::call_target holds one.
+class Primitives {
+ public:
+  static const Primitives& instance();
+
+  const std::vector<Primitive>& all() const { return prims_; }
+  const Primitive& at(int idx) const { return prims_.at(static_cast<std::size_t>(idx)); }
+
+  /// All overload indices for `name` (empty if unknown).
+  const std::vector<int>& overloads(const std::string& name) const;
+
+  bool known(const std::string& name) const { return !overloads(name).empty(); }
+
+ private:
+  Primitives();
+  std::vector<Primitive> prims_;
+  std::unordered_map<std::string, std::vector<int>> by_name_;
+};
+
+// --- audio transcoding helpers (exposed for the built-in C baseline) --------
+
+/// 16-bit stereo PCM -> 16-bit mono (average channels). Sizes halve.
+std::vector<std::uint8_t> audio_stereo_to_mono16(const std::vector<std::uint8_t>& pcm);
+/// 16-bit mono -> 8-bit mono. Sizes halve.
+std::vector<std::uint8_t> audio_16_to_8(const std::vector<std::uint8_t>& pcm);
+/// 8-bit mono -> 16-bit mono (inverse companding; lossy round trip).
+std::vector<std::uint8_t> audio_8_to_16(const std::vector<std::uint8_t>& pcm);
+/// 16-bit mono -> 16-bit stereo (duplicate channel).
+std::vector<std::uint8_t> audio_mono_to_stereo16(const std::vector<std::uint8_t>& pcm);
+
+}  // namespace asp::planp

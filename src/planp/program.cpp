@@ -1,0 +1,42 @@
+#include "planp/program.hpp"
+
+#include "planp/parser.hpp"
+
+namespace asp::planp {
+
+VerificationError::VerificationError(const AnalysisReport& report) : report_(report) {
+  message_ = "protocol rejected by verification:";
+  if (!report.global_termination) {
+    message_ += " [global termination] " + report.global_termination_detail + ";";
+  }
+  if (!report.linear_duplication) {
+    message_ += " [duplication] " + report.duplication_detail + ";";
+  }
+  if (!report.local_termination) message_ += " [local termination];";
+}
+
+std::unique_ptr<Protocol> Protocol::load(const std::string& source, EnvApi& env,
+                                         Options opts) {
+  auto proto = std::unique_ptr<Protocol>(new Protocol());
+  proto->checked_ = typecheck(parse(source));
+  proto->report_ = analyze(proto->checked_);
+  if (opts.require_verified && !proto->report_.accepted()) {
+    throw VerificationError(proto->report_);
+  }
+  switch (opts.engine) {
+    case EngineKind::kInterp:
+      proto->engine_ = std::make_unique<Interp>(proto->checked_, env);
+      break;
+    case EngineKind::kBytecode:
+      proto->compiled_ = compile(proto->checked_);
+      proto->engine_ = std::make_unique<VmEngine>(proto->compiled_, env);
+      break;
+    case EngineKind::kJit:
+      proto->compiled_ = compile(proto->checked_);
+      proto->engine_ = std::make_unique<JitEngine>(proto->compiled_, env);
+      break;
+  }
+  return proto;
+}
+
+}  // namespace asp::planp

@@ -1,0 +1,104 @@
+#include "runtime/deploy.hpp"
+
+#include <sstream>
+
+namespace asp::runtime {
+
+using asp::net::TcpConnection;
+
+DeployServer::DeployServer(AspRuntime& runtime, std::uint16_t port)
+    : runtime_(runtime) {
+  runtime_.node().tcp().listen(port, [this](std::shared_ptr<TcpConnection> conn) {
+    auto session = std::make_shared<Session>();
+    conn->on_data([this, conn, session](const std::vector<std::uint8_t>& d) {
+      session->buffer.append(d.begin(), d.end());
+      on_data(conn, session);
+    });
+  });
+}
+
+void DeployServer::on_data(std::shared_ptr<TcpConnection> conn,
+                           std::shared_ptr<Session> s) {
+  if (!s->header_seen) {
+    auto eol = s->buffer.find('\n');
+    if (eol == std::string::npos) return;
+    std::istringstream in(s->buffer.substr(0, eol));
+    std::string cmd, engine;
+    int auth = 0;
+    std::size_t len = 0;
+    in >> cmd >> engine >> auth >> len;
+    s->buffer.erase(0, eol + 1);
+    if (cmd != "DEPLOY" || in.fail()) {
+      conn->send("ERR malformed header\n");
+      conn->close();
+      return;
+    }
+    s->engine = engine == "interp"     ? planp::EngineKind::kInterp
+                : engine == "bytecode" ? planp::EngineKind::kBytecode
+                                       : planp::EngineKind::kJit;
+    s->authenticated = auth != 0;
+    s->expect = len;
+    s->header_seen = true;
+  }
+  if (s->buffer.size() >= s->expect) {
+    finish(conn, *s);
+  }
+}
+
+void DeployServer::finish(std::shared_ptr<TcpConnection> conn, const Session& s) {
+  planp::Protocol::Options opts;
+  opts.engine = s.engine;
+  opts.require_verified = !s.authenticated;
+  try {
+    planp::Protocol& proto = runtime_.install(s.buffer.substr(0, s.expect), opts);
+    ++deployments_;
+    double codegen_us = 0;
+    if (const planp::CodegenStats* cs = runtime_.protocol().codegen_stats()) {
+      codegen_us = cs->generation_ms * 1000.0;
+    }
+    conn->send("OK " + std::to_string(proto.checked().channels.size()) + " " +
+               std::to_string(codegen_us) + "\n");
+  } catch (const planp::VerificationError& e) {
+    ++rejections_;
+    conn->send(std::string("ERR verification: ") + e.what() + "\n");
+  } catch (const planp::PlanPError& e) {
+    ++rejections_;
+    conn->send(std::string("ERR ") + e.what() + "\n");
+  }
+  conn->close();
+}
+
+void Deployer::deploy(asp::net::Ipv4Addr target, const std::string& source,
+                      Callback cb, const Options& opts) {
+  auto conn = node_.tcp().connect(target, opts.port);
+  const char* engine = opts.engine == planp::EngineKind::kInterp     ? "interp"
+                       : opts.engine == planp::EngineKind::kBytecode ? "bytecode"
+                                                                     : "jit";
+  std::string message = std::string("DEPLOY ") + engine + " " +
+                        (opts.authenticated ? "1" : "0") + " " +
+                        std::to_string(source.size()) + "\n" + source;
+  auto reply = std::make_shared<std::string>();
+  auto done = std::make_shared<bool>(false);
+  auto callback = std::make_shared<Callback>(std::move(cb));
+
+  conn->on_established([conn, message] { conn->send(message); });
+  conn->on_data([reply, done, callback](const std::vector<std::uint8_t>& d) {
+    reply->append(d.begin(), d.end());
+    auto eol = reply->find('\n');
+    if (eol != std::string::npos && !*done) {
+      *done = true;
+      DeployResult result;
+      result.message = reply->substr(0, eol);
+      result.ok = result.message.rfind("OK", 0) == 0;
+      (*callback)(result);
+    }
+  });
+  conn->on_closed([done, callback] {
+    if (!*done) {
+      *done = true;
+      (*callback)(DeployResult{false, "connection closed"});
+    }
+  });
+}
+
+}  // namespace asp::runtime

@@ -1,0 +1,85 @@
+// ASP deployment over the network itself (paper §5: "protocol management
+// functionalities, such as ASP deployment").
+//
+// A management station pushes PLAN-P source to a node's deployment daemon
+// over TCP. The daemon runs the ordinary download pipeline — including the
+// verification gate — and reports the outcome. Unverifiable protocols need
+// the authenticated flag (paper §2.1's provision for privileged users).
+//
+// Wire format (client -> server):
+//   "DEPLOY <engine> <auth> <source-bytes>\n" followed by the source text.
+// Reply:
+//   "OK <channels> <codegen-us>\n"  or  "ERR <reason>\n".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/tcp.hpp"
+#include "runtime/engine.hpp"
+
+namespace asp::runtime {
+
+inline constexpr std::uint16_t kDeployPort = 9199;
+
+/// Per-node deployment daemon. Owns nothing but the listener; installs into
+/// the node's AspRuntime.
+class DeployServer {
+ public:
+  DeployServer(AspRuntime& runtime, std::uint16_t port = kDeployPort);
+
+  int deployments() const { return deployments_; }
+  int rejections() const { return rejections_; }
+
+ private:
+  struct Session {
+    std::string buffer;
+    bool header_seen = false;
+    planp::EngineKind engine = planp::EngineKind::kJit;
+    bool authenticated = false;
+    std::size_t expect = 0;
+  };
+
+  void on_data(std::shared_ptr<asp::net::TcpConnection> conn,
+               std::shared_ptr<Session> s);
+  void finish(std::shared_ptr<asp::net::TcpConnection> conn, const Session& s);
+
+  AspRuntime& runtime_;
+  int deployments_ = 0;
+  int rejections_ = 0;
+};
+
+/// Result of one deployment attempt.
+struct DeployResult {
+  bool ok = false;
+  std::string message;  // "OK ..." payload or error reason
+};
+
+/// Management-station side: pushes an ASP to a remote daemon.
+class Deployer {
+ public:
+  explicit Deployer(asp::net::Node& node) : node_(node) {}
+
+  struct Options {
+    planp::EngineKind engine = planp::EngineKind::kJit;
+    /// Authenticated deployments may install gate-rejected protocols.
+    bool authenticated = false;
+    std::uint16_t port = kDeployPort;
+  };
+
+  using Callback = std::function<void(const DeployResult&)>;
+
+  /// Asynchronously deploys `source` to `target`; `cb` fires when the daemon
+  /// replies (or the connection dies).
+  void deploy(asp::net::Ipv4Addr target, const std::string& source, Callback cb,
+              const Options& opts);
+  void deploy(asp::net::Ipv4Addr target, const std::string& source, Callback cb) {
+    deploy(target, source, std::move(cb), Options{});
+  }
+
+ private:
+  asp::net::Node& node_;
+};
+
+}  // namespace asp::runtime

@@ -1,0 +1,164 @@
+#include "runtime/engine.hpp"
+
+namespace asp::runtime {
+
+using planp::Value;
+
+AspRuntime::AspRuntime(asp::net::Node& node) : node_(node) {}
+
+AspRuntime::~AspRuntime() {
+  if (proto_ != nullptr) uninstall();
+}
+
+planp::Protocol& AspRuntime::install(const std::string& source,
+                                     planp::Protocol::Options opts) {
+  if (proto_ != nullptr) uninstall();
+  ++generation_;
+  proto_ = planp::Protocol::load(source, *this, opts);
+
+  const auto& channels = proto_->checked().channels;
+  // The protocol state is shared between all channels (paper §2); their
+  // declared protocol-state types must therefore agree.
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    if (!channels[i]->ps_type->equals(*channels[0]->ps_type)) {
+      planp::Loc loc = channels[i]->loc;
+      proto_.reset();
+      throw planp::PlanPError(
+          "install", loc,
+          "all channels must declare the same protocol state type (it is shared)");
+    }
+  }
+  if (!channels.empty()) {
+    protocol_state_ = planp::default_value(channels[0]->ps_type);
+  }
+  channel_states_.clear();
+  channel_states_.reserve(channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    channel_states_.push_back(proto_->engine().init_state(static_cast<int>(i)));
+  }
+
+  node_.set_ip_hook([this](asp::net::Packet& p, asp::net::Interface& in) {
+    return on_packet(p, &in);
+  });
+  return *proto_;
+}
+
+void AspRuntime::uninstall() {
+  node_.set_ip_hook(nullptr);
+  ++generation_;
+  if (dispatch_depth_ > 0 && proto_ != nullptr) {
+    retired_.push_back(std::move(proto_));  // keep the executing engine alive
+  }
+  proto_.reset();
+  channel_states_.clear();
+}
+
+bool AspRuntime::inject(asp::net::Packet p) { return on_packet(p, nullptr); }
+
+bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
+  if (proto_ == nullptr) return false;
+  planp::Protocol* proto = proto_.get();
+  std::uint64_t generation = generation_;
+  const auto& channels = proto->checked().channels;
+
+  ++dispatch_depth_;
+  bool taken = false;
+  current_in_ = in;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (generation_ != generation) break;  // protocol swapped mid-dispatch
+    const planp::ChannelDef& c = *channels[i];
+    // User-channel packets dispatch by tag; untagged traffic goes to the
+    // distinguished `network` channels (paper §2).
+    if (p.channel.empty()) {
+      if (c.name != "network") continue;
+    } else {
+      if (c.name != p.channel) continue;
+    }
+    std::optional<Value> decoded = decode_packet(p, c.packet_type);
+    if (!decoded) continue;
+    try {
+      Value out = proto->engine().run_channel(static_cast<int>(i), protocol_state_,
+                                              channel_states_[i], *decoded);
+      if (generation_ == generation) {
+        const auto& pair = out.as_tuple();
+        protocol_state_ = pair[0];
+        channel_states_[i] = pair[1];
+      }
+      ++handled_;
+      taken = true;
+    } catch (const planp::PlanPException& e) {
+      // An exception escaping a channel aborts that packet's processing; the
+      // packet is consumed (the protocol claimed it) but states are kept.
+      ++errors_;
+      log_ += "[runtime] unhandled exception '" + e.name + "' in channel '" +
+              c.name + "'\n";
+      taken = true;
+    }
+  }
+  current_in_ = nullptr;
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0) retired_.clear();
+  if (!taken) ++passed_;
+  return taken;
+}
+
+std::int64_t AspRuntime::link_load_percent() {
+  asp::net::Medium* m = monitored_;
+  if (m == nullptr && node_.iface_count() > 0) {
+    m = node_.iface(static_cast<int>(node_.iface_count()) - 1).medium();
+  }
+  if (m == nullptr) return 0;
+  double u = m->utilization();
+  if (u < 0) u = 0;
+  if (u > 1) u = 1;
+  return static_cast<std::int64_t>(u * 100.0 + 0.5);
+}
+
+std::int64_t AspRuntime::link_bandwidth_kbps() {
+  asp::net::Medium* m = monitored_;
+  if (m == nullptr && node_.iface_count() > 0) {
+    m = node_.iface(static_cast<int>(node_.iface_count()) - 1).medium();
+  }
+  if (m == nullptr) return 0;
+  return static_cast<std::int64_t>(m->bandwidth_bps() / 1000.0);
+}
+
+void AspRuntime::on_remote(const std::string& channel, const Value& packet) {
+  asp::net::Packet p = encode_packet(packet, channel == "network" ? "" : channel);
+  p.id = node_.next_packet_id();
+  // Defense in depth: even verified protocols respect TTL.
+  if (p.ip.ttl <= 1) {
+    ++drops_;
+    return;
+  }
+  --p.ip.ttl;
+  ++sent_;
+  if (node_.owns(p.ip.dst)) {
+    node_.deliver_local(std::move(p));
+    return;
+  }
+  node_.forward(std::move(p));
+}
+
+void AspRuntime::on_neighbor(const std::string& channel, const Value& packet) {
+  asp::net::Packet p = encode_packet(packet, channel == "network" ? "" : channel);
+  p.id = node_.next_packet_id();
+  ++sent_;
+  // L2 semantics: emit on every attached segment except the one the packet
+  // arrived on (a locally generated packet floods all interfaces). This is
+  // what lets an ASP implement a learning Ethernet bridge.
+  int skip = current_in_ != nullptr ? current_in_->index() : -1;
+  for (std::size_t i = 0; i < node_.iface_count(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    asp::net::Packet copy = p;
+    node_.iface(static_cast<int>(i)).transmit(std::move(copy));
+  }
+}
+
+void AspRuntime::deliver(const Value& packet) {
+  asp::net::Packet p = encode_packet(packet, "");
+  p.id = node_.next_packet_id();
+  node_.deliver_local(std::move(p));
+}
+
+}  // namespace asp::runtime

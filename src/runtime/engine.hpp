@@ -1,0 +1,107 @@
+// AspRuntime: the per-node PLAN-P layer (the paper's Solaris kernel module).
+//
+// Installing a protocol hooks the node's IP layer: every arriving packet is
+// offered to the protocol's channels; a packet whose type matches a channel's
+// packet type is handed to that channel (all matching overloads run, each with
+// its own channel state and a shared protocol state). Packets no channel
+// claims fall through to standard IP behaviour.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "planp/program.hpp"
+#include "runtime/netapi.hpp"
+
+namespace asp::runtime {
+
+class AspRuntime : public planp::EnvApi {
+ public:
+  explicit AspRuntime(asp::net::Node& node);
+  ~AspRuntime();
+  AspRuntime(const AspRuntime&) = delete;
+  AspRuntime& operator=(const AspRuntime&) = delete;
+
+  /// Downloads a protocol into this node: parse, check, verify, specialize,
+  /// install. Throws PlanPError / VerificationError.
+  planp::Protocol& install(const std::string& source,
+                           planp::Protocol::Options opts = make_default_options());
+
+  /// Removes the protocol and restores standard IP processing.
+  void uninstall();
+
+  bool installed() const { return proto_ != nullptr; }
+  planp::Protocol& protocol() { return *proto_; }
+  asp::net::Node& node() { return node_; }
+
+  /// Medium whose utilization linkLoad() reports (the audio router monitors
+  /// its outgoing segment). Defaults to the medium of the last interface.
+  void set_monitored_medium(asp::net::Medium* m) { monitored_ = m; }
+
+  /// Also run the hook on packets this node *sends* (end-host ASPs, e.g. the
+  /// audio client transform applies on receive; the MPEG request rewriting
+  /// could apply on send). Default: receive path only.
+  // (Send-path hooking is expressed by the applications calling inject().)
+
+  /// Feeds a locally generated packet through the installed protocol exactly
+  /// as if it had arrived from the network. Returns true if a channel took it.
+  bool inject(asp::net::Packet p);
+
+  // --- statistics -------------------------------------------------------------
+  std::uint64_t packets_handled() const { return handled_; }
+  std::uint64_t packets_passed() const { return passed_; }
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t runtime_errors() const { return errors_; }
+  const std::string& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+  // --- EnvApi -----------------------------------------------------------------
+  void print(const std::string& s) override { log_ += s; }
+  asp::net::Ipv4Addr this_host() override { return node_.addr(); }
+  std::int64_t time_ms() override {
+    return static_cast<std::int64_t>(node_.events().now() / asp::net::kNsPerMs);
+  }
+  std::int64_t link_load_percent() override;
+  std::int64_t link_bandwidth_kbps() override;
+  std::int64_t arrival_iface() override {
+    return current_in_ != nullptr ? current_in_->index() : -1;
+  }
+  void on_remote(const std::string& channel, const planp::Value& packet) override;
+  void on_neighbor(const std::string& channel, const planp::Value& packet) override;
+  void deliver(const planp::Value& packet) override;
+  void drop() override { ++drops_; }
+
+ private:
+  static planp::Protocol::Options make_default_options() {
+    planp::Protocol::Options o;
+    return o;
+  }
+
+  bool on_packet(asp::net::Packet& p, asp::net::Interface* in);
+
+  asp::net::Node& node_;
+  std::unique_ptr<planp::Protocol> proto_;
+  // Reentrancy: a channel's deliver() can reach application code that
+  // reinstalls a protocol (the MPEG client swaps its reply ASP for the
+  // capture ASP). The executing protocol is retired, not destroyed, until
+  // dispatch unwinds; a generation counter stops the dispatch loop.
+  std::vector<std::unique_ptr<planp::Protocol>> retired_;
+  int dispatch_depth_ = 0;
+  std::uint64_t generation_ = 0;
+  planp::Value protocol_state_;
+  std::vector<planp::Value> channel_states_;
+  asp::net::Medium* monitored_ = nullptr;
+  asp::net::Interface* current_in_ = nullptr;  // arrival interface during dispatch
+
+  std::uint64_t handled_ = 0;
+  std::uint64_t passed_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t errors_ = 0;
+  std::string log_;
+};
+
+}  // namespace asp::runtime

@@ -1,0 +1,189 @@
+#include "runtime/netapi.hpp"
+
+namespace asp::runtime {
+
+using planp::Type;
+using planp::TypePtr;
+using planp::Value;
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+std::uint16_t get16(const std::uint8_t* b) {
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+std::uint32_t get32(const std::uint8_t* b) {
+  return (static_cast<std::uint32_t>(get16(b)) << 16) | get16(b + 2);
+}
+
+/// Serializes the transport header in front of the payload: an `ip*blob`
+/// channel sees "everything after the IP header" as the blob, so re-emitting
+/// the blob reconstructs the whole packet (e.g. the learning bridge).
+std::vector<std::uint8_t> raw_rest(const asp::net::Packet& p) {
+  std::vector<std::uint8_t> out;
+  if (p.tcp) {
+    out.reserve(asp::net::TcpHeader::kWireSize + p.payload.size());
+    put16(out, p.tcp->sport);
+    put16(out, p.tcp->dport);
+    put32(out, p.tcp->seq);
+    put32(out, p.tcp->ack);
+    out.push_back(p.tcp->flags);
+    out.push_back(0);  // header-length/reserved placeholder
+    put16(out, p.tcp->wnd);
+    put32(out, 0);  // checksum + urgent placeholder
+  } else if (p.udp) {
+    out.reserve(asp::net::UdpHeader::kWireSize + p.payload.size());
+    put16(out, p.udp->sport);
+    put16(out, p.udp->dport);
+    put16(out, static_cast<std::uint16_t>(p.payload.size() + 8));
+    put16(out, 0);  // checksum placeholder
+  }
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+  return out;
+}
+
+/// Inverse of raw_rest: splits the transport header back out of the blob,
+/// guided by ip.proto.
+void split_rest(asp::net::Packet& p, std::vector<std::uint8_t> rest) {
+  if (p.ip.proto == asp::net::IpProto::kTcp &&
+      rest.size() >= asp::net::TcpHeader::kWireSize) {
+    asp::net::TcpHeader h;
+    h.sport = get16(rest.data());
+    h.dport = get16(rest.data() + 2);
+    h.seq = get32(rest.data() + 4);
+    h.ack = get32(rest.data() + 8);
+    h.flags = rest[12];
+    h.wnd = get16(rest.data() + 14);
+    p.tcp = h;
+    p.payload.assign(rest.begin() + asp::net::TcpHeader::kWireSize, rest.end());
+    return;
+  }
+  if (p.ip.proto == asp::net::IpProto::kUdp &&
+      rest.size() >= asp::net::UdpHeader::kWireSize) {
+    p.udp = asp::net::UdpHeader{get16(rest.data()), get16(rest.data() + 2)};
+    p.payload.assign(rest.begin() + asp::net::UdpHeader::kWireSize, rest.end());
+    return;
+  }
+  p.ip.proto = asp::net::IpProto::kRaw;
+  p.payload = std::move(rest);
+}
+
+}  // namespace
+
+std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& type) {
+  const auto& parts = type->args();
+  std::vector<Value> fields;
+  fields.reserve(parts.size());
+
+  std::size_t i = 0;
+  fields.push_back(Value::of_ip(p.ip));
+  ++i;
+
+  bool transport_in_blob = false;
+  if (i < parts.size() && parts[i]->is(Type::Kind::kTcp)) {
+    if (p.ip.proto != asp::net::IpProto::kTcp || !p.tcp) return std::nullopt;
+    fields.push_back(Value::of_tcp(*p.tcp));
+    ++i;
+  } else if (i < parts.size() && parts[i]->is(Type::Kind::kUdp)) {
+    if (p.ip.proto != asp::net::IpProto::kUdp || !p.udp) return std::nullopt;
+    fields.push_back(Value::of_udp(*p.udp));
+    ++i;
+  } else {
+    // Header-only pattern (`ip*...`): accepts any protocol; the transport
+    // header rides inside the blob so nothing is lost on re-emission.
+    transport_in_blob = p.tcp.has_value() || p.udp.has_value();
+  }
+
+  // Payload bytes the scalar fields decode from: for header-only patterns the
+  // transport header rides at the front, so nothing is lost on re-emission.
+  const std::vector<std::uint8_t> rest =
+      transport_in_blob ? raw_rest(p) : p.payload;
+
+  std::size_t off = 0;
+  for (; i < parts.size(); ++i) {
+    switch (parts[i]->kind()) {
+      case Type::Kind::kChar:
+        if (off + 1 > rest.size()) return std::nullopt;
+        fields.push_back(Value::of_char(static_cast<char>(rest[off])));
+        off += 1;
+        break;
+      case Type::Kind::kBool:
+        if (off + 1 > rest.size()) return std::nullopt;
+        if (rest[off] > 1) return std::nullopt;  // strict bool encoding
+        fields.push_back(Value::of_bool(rest[off] != 0));
+        off += 1;
+        break;
+      case Type::Kind::kInt: {
+        if (off + 4 > rest.size()) return std::nullopt;
+        std::int32_t v = static_cast<std::int32_t>(
+            (std::uint32_t{rest[off]} << 24) | (std::uint32_t{rest[off + 1]} << 16) |
+            (std::uint32_t{rest[off + 2]} << 8) | rest[off + 3]);
+        fields.push_back(Value::of_int(v));
+        off += 4;
+        break;
+      }
+      case Type::Kind::kBlob:
+        fields.push_back(Value::of_blob(std::vector<std::uint8_t>(
+            rest.begin() + static_cast<std::ptrdiff_t>(off), rest.end())));
+        off = rest.size();
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return Value::of_tuple(std::move(fields));
+}
+
+asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
+  const auto& fields = v.as_tuple();
+  asp::net::Packet p;
+  p.ip = fields[0].as_ip();
+
+  std::size_t i = 1;
+  if (i < fields.size()) {
+    if (const auto* tcp = std::get_if<asp::net::TcpHeader>(&fields[i].rep())) {
+      p.tcp = *tcp;
+      p.ip.proto = asp::net::IpProto::kTcp;
+      ++i;
+    } else if (const auto* udp = std::get_if<asp::net::UdpHeader>(&fields[i].rep())) {
+      p.udp = *udp;
+      p.ip.proto = asp::net::IpProto::kUdp;
+      ++i;
+    }
+  }
+
+  for (; i < fields.size(); ++i) {
+    const auto& rep = fields[i].rep();
+    if (const auto* c = std::get_if<char>(&rep)) {
+      p.payload.push_back(static_cast<std::uint8_t>(*c));
+    } else if (const auto* b = std::get_if<bool>(&rep)) {
+      p.payload.push_back(*b ? 1 : 0);
+    } else if (const auto* n = std::get_if<std::int64_t>(&rep)) {
+      std::uint32_t u = static_cast<std::uint32_t>(*n);
+      p.payload.push_back(static_cast<std::uint8_t>(u >> 24));
+      p.payload.push_back(static_cast<std::uint8_t>(u >> 16));
+      p.payload.push_back(static_cast<std::uint8_t>(u >> 8));
+      p.payload.push_back(static_cast<std::uint8_t>(u));
+    } else if (const auto* blob = std::get_if<planp::Blob>(&rep)) {
+      p.payload.insert(p.payload.end(), (*blob)->begin(), (*blob)->end());
+    } else {
+      throw planp::EvalBug{"encode_packet: unsupported payload field"};
+    }
+  }
+  // Header-only value (ip*blob and friends): the transport header lives at
+  // the front of the bytes; split it back out so the packet stays whole.
+  if (!p.tcp && !p.udp && p.ip.proto != asp::net::IpProto::kRaw) {
+    split_rest(p, std::move(p.payload));
+  }
+  p.channel = channel_tag;
+  return p;
+}
+
+}  // namespace asp::runtime

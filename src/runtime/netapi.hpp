@@ -1,0 +1,26 @@
+// Packet <-> PLAN-P value conversion.
+//
+// A channel over `ip*tcp*char*int` sees a TCP packet as a 4-tuple whose
+// payload has been decoded into a char then a big-endian int32 (paper Figure 4
+// relies on this to dispatch on the first payload byte). Scalar payload fields
+// are decoded in order; a trailing `blob` takes the rest.
+#pragma once
+
+#include <optional>
+
+#include "net/packet.hpp"
+#include "planp/types.hpp"
+#include "planp/value.hpp"
+
+namespace asp::runtime {
+
+/// Decodes `p` as a value of packet type `type`. Returns nullopt when the
+/// packet does not match (wrong protocol, payload too short, ...).
+std::optional<planp::Value> decode_packet(const asp::net::Packet& p,
+                                          const planp::TypePtr& type);
+
+/// Encodes a PLAN-P packet value back onto the wire. `channel_tag` is attached
+/// for user-defined channels (empty for the distinguished `network` channel).
+asp::net::Packet encode_packet(const planp::Value& v, const std::string& channel_tag);
+
+}  // namespace asp::runtime

@@ -1,0 +1,81 @@
+#include "apps/mpeg/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/asp_sources.hpp"
+#include "net/network.hpp"
+#include "planp/analysis.hpp"
+#include "planp/parser.hpp"
+
+namespace asp::apps {
+namespace {
+
+using asp::net::ip;
+
+TEST(MpegAsps, MonitorAspTypechecksAndTerminates) {
+  auto report = planp::analyze(
+      planp::typecheck(planp::parse(mpeg_monitor_asp(ip("10.0.1.1")))));
+  EXPECT_TRUE(report.local_termination);
+  EXPECT_TRUE(report.global_termination) << report.global_termination_detail;
+  EXPECT_TRUE(report.linear_duplication) << report.duplication_detail;
+  // The monitor intentionally drops its observed copies: delivery is
+  // (correctly) not guaranteed, which is advisory.
+  EXPECT_FALSE(report.guaranteed_delivery);
+}
+
+TEST(MpegAsps, CaptureAspVerifies) {
+  auto report = planp::analyze(
+      planp::typecheck(planp::parse(mpeg_capture_asp(ip("192.168.1.1"), 7000, 7010))));
+  EXPECT_TRUE(report.accepted());
+}
+
+TEST(MpegApp, SingleClientStreamsFromServer) {
+  MpegExperiment exp(/*sharing=*/false, 1);
+  auto r = exp.run(5.0);
+  EXPECT_EQ(r.server_streams, 1);
+  EXPECT_EQ(r.clients_playing, 1);
+  EXPECT_EQ(r.clients_sharing, 0);
+  // GOP 9 frames = 29 kB at 30 fps => ~0.77 Mb/s + headers.
+  EXPECT_NEAR(r.server_egress_mbps, 0.8, 0.25);
+  EXPECT_NEAR(r.min_client_mbps, 0.8, 0.25);
+}
+
+TEST(MpegApp, WithoutSharingServerLoadGrowsLinearly) {
+  MpegExperiment exp(/*sharing=*/false, 4);
+  auto r = exp.run(6.0);
+  EXPECT_EQ(r.server_streams, 4);
+  EXPECT_NEAR(r.server_egress_mbps, 4 * 0.8, 0.8);
+}
+
+TEST(MpegApp, SharingServesManyClientsFromOneStream) {
+  MpegExperiment exp(/*sharing=*/true, 4);
+  auto r = exp.run(6.0);
+  // The paper's claim: the server still serves a single point-to-point
+  // stream, later clients capture it on the segment.
+  EXPECT_EQ(r.server_streams, 1);
+  EXPECT_EQ(r.clients_playing, 4);
+  EXPECT_EQ(r.clients_sharing, 3);
+  EXPECT_NEAR(r.server_egress_mbps, 0.8, 0.25);
+  // Every client still receives the full stream rate.
+  EXPECT_NEAR(r.min_client_mbps, 0.8, 0.25);
+  EXPECT_NEAR(r.max_client_mbps, 0.8, 0.25);
+}
+
+TEST(MpegApp, FirstClientIsUnshared) {
+  MpegExperiment exp(/*sharing=*/true, 1);
+  auto r = exp.run(4.0);
+  EXPECT_EQ(r.server_streams, 1);
+  EXPECT_EQ(r.clients_sharing, 0);  // monitor had nothing to offer
+  EXPECT_EQ(r.clients_playing, 1);
+}
+
+TEST(MpegApp, SharingScalesToEightClients) {
+  MpegExperiment exp(/*sharing=*/true, 8);
+  auto r = exp.run(8.0);
+  EXPECT_EQ(r.server_streams, 1);
+  EXPECT_EQ(r.clients_sharing, 7);
+  EXPECT_NEAR(r.min_client_mbps, 0.8, 0.25);
+}
+
+}  // namespace
+}  // namespace asp::apps

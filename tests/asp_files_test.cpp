@@ -1,0 +1,83 @@
+// The human-readable ASP sources in /asps must stay in sync with the
+// embedded generators in asp_sources.hpp (the files are generated from them;
+// see README). Also: every shipped .planp file must take the full pipeline.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apps/asp_sources.hpp"
+#include "net/network.hpp"
+#include "planp/parser.hpp"
+#include "planp/typecheck.hpp"
+
+#ifndef ASP_SOURCE_DIR
+#define ASP_SOURCE_DIR "asps"
+#endif
+
+namespace asp::apps {
+namespace {
+
+std::string read_file(const std::string& name) {
+  std::ifstream in(std::string(ASP_SOURCE_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct Entry {
+  const char* file;
+  std::string source;
+};
+
+std::vector<Entry> entries() {
+  return {
+      {"audio_router.planp", audio_router_asp()},
+      {"audio_client.planp", audio_client_asp()},
+      {"http_gateway.planp",
+       http_gateway_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                        net::ip("131.254.60.109"))},
+      {"http_gateway_hash.planp",
+       http_gateway_hash_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                             net::ip("131.254.60.109"))},
+      {"http_gateway_failover.planp",
+       http_gateway_failover_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                                 net::ip("131.254.60.109"))},
+      {"image_distill.planp", image_distill_asp()},
+      {"bridge.planp", bridge_asp()},
+      {"audio_router_hysteresis.planp", audio_router_hysteresis_asp()},
+      {"mpeg_monitor.planp", mpeg_monitor_asp(net::ip("10.0.1.1"))},
+      {"mpeg_reply.planp", mpeg_reply_asp()},
+      {"mpeg_capture.planp", mpeg_capture_asp(net::ip("192.168.1.1"), 7000, 7010)},
+  };
+}
+
+TEST(AspFiles, MirrorFilesMatchEmbeddedSources) {
+  for (const Entry& e : entries()) {
+    EXPECT_EQ(read_file(e.file), e.source) << e.file << " out of sync";
+  }
+}
+
+TEST(AspFiles, EveryShippedAspTypechecks) {
+  for (const Entry& e : entries()) {
+    EXPECT_NO_THROW(planp::typecheck(planp::parse(e.source))) << e.file;
+  }
+}
+
+TEST(AspFiles, SizesMatchThePapersOrderOfMagnitude) {
+  // Paper figure 3: programs of 28..161 lines, "average size about 130 lines
+  // of PLAN-P". Ours are comparably small.
+  int total = 0, n = 0;
+  for (const Entry& e : entries()) {
+    planp::Program p = planp::parse(e.source);
+    EXPECT_GT(p.source_lines, 1) << e.file;
+    EXPECT_LT(p.source_lines, 200) << e.file;
+    total += p.source_lines;
+    ++n;
+  }
+  EXPECT_LT(total / n, 161);
+}
+
+}  // namespace
+}  // namespace asp::apps

@@ -1,0 +1,117 @@
+#include "net/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asp::net {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(100, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.schedule_at(50, [&] {
+    q.schedule_in(25, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule_at(10, [&] { ran = true; });
+  q.cancel(id);
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(12345);
+  bool ran = false;
+  q.schedule_at(1, [&] { ran = true; });
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_at(10, [&] { fired.push_back(10); });
+  q.schedule_at(20, [&] { fired.push_back(20); });
+  q.schedule_at(30, [&] { fired.push_back(30); });
+  q.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(q.now(), 20u);
+  q.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) q.schedule_in(5, tick);
+  };
+  q.schedule_at(0, tick);
+  q.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+TEST(EventQueue, PendingCountsOutCancelled) {
+  EventQueue q;
+  EventId a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(SimTimeHelpers, Conversions) {
+  EXPECT_EQ(seconds(1.5), 1'500'000'000u);
+  EXPECT_EQ(millis(2), 2'000'000u);
+  EXPECT_EQ(micros(3), 3'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(42.0)), 42.0);
+}
+
+TEST(SimTimeHelpers, TxTimeMatchesLinkRate) {
+  // 1250 bytes at 10 Mb/s = 1 ms.
+  EXPECT_EQ(tx_time(1250, 10e6), kNsPerMs);
+  // 1 byte at 8 bits/s = 1 s.
+  EXPECT_EQ(tx_time(1, 8.0), kNsPerSec);
+}
+
+}  // namespace
+}  // namespace asp::net

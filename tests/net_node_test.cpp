@@ -1,0 +1,236 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace asp::net {
+namespace {
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable rt;
+  rt.add_default(0);
+  rt.add(ip("10.0.0.0"), 8, 1);
+  rt.add(ip("10.1.0.0"), 16, 2);
+  rt.add(ip("10.1.2.0"), 24, 3);
+
+  EXPECT_EQ(rt.lookup(ip("10.1.2.3"))->iface, 3);
+  EXPECT_EQ(rt.lookup(ip("10.1.9.9"))->iface, 2);
+  EXPECT_EQ(rt.lookup(ip("10.9.9.9"))->iface, 1);
+  EXPECT_EQ(rt.lookup(ip("172.16.0.1"))->iface, 0);
+}
+
+TEST(RoutingTable, EmptyTableReturnsNull) {
+  RoutingTable rt;
+  EXPECT_EQ(rt.lookup(ip("1.2.3.4")), nullptr);
+}
+
+TEST(Node, OwnsAllInterfaceAddresses) {
+  Network net;
+  Node& n = net.add_node("n");
+  n.add_interface(ip("10.0.0.1"));
+  n.add_interface(ip("192.168.1.1"));
+  EXPECT_TRUE(n.owns(ip("10.0.0.1")));
+  EXPECT_TRUE(n.owns(ip("192.168.1.1")));
+  EXPECT_FALSE(n.owns(ip("10.0.0.2")));
+  EXPECT_EQ(n.addr(), ip("10.0.0.1"));
+}
+
+TEST(Node, LoopbackDelivery) {
+  Network net;
+  Node& n = net.add_node("n");
+  n.add_interface(ip("10.0.0.1"));
+  int got = 0;
+  UdpSocket sock(n, 5000, [&](const Packet&) { ++got; });
+  sock.send_to(n.addr(), 5000, bytes_of("hi"));
+  net.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Node, RouterForwardsAcrossLinks) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& r = net.add_router("r");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), r, ip("10.0.1.254"), 10e6, millis(1));
+  net.link(r, ip("10.0.2.254"), b, ip("10.0.2.1"), 10e6, millis(1));
+  a.routes().add_default(0);
+  b.routes().add_default(0);
+  r.routes().add(ip("10.0.1.0"), 24, 0);
+  r.routes().add(ip("10.0.2.0"), 24, 1);
+
+  int got = 0;
+  UdpSocket sock(b, 7, [&](const Packet& p) {
+    ++got;
+    EXPECT_EQ(p.ip.src, ip("10.0.1.1"));
+    EXPECT_EQ(p.ip.ttl, 63);  // one hop decrements once
+  });
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Node, HostDoesNotForwardTransitTraffic) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& h = net.add_node("h");  // plain host in the middle
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), h, ip("10.0.1.2"), 10e6, millis(1));
+  net.link(h, ip("10.0.2.2"), b, ip("10.0.2.1"), 10e6, millis(1));
+  a.routes().add_default(0);
+  h.routes().add(ip("10.0.2.0"), 24, 1);
+
+  int got = 0;
+  UdpSocket sock(b, 7, [&](const Packet&) { ++got; });
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(Node, TtlExpiryDropsPacket) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& r = net.add_router("r");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), r, ip("10.0.1.254"), 10e6, millis(1));
+  net.link(r, ip("10.0.2.254"), b, ip("10.0.2.1"), 10e6, millis(1));
+  a.routes().add_default(0);
+  r.routes().add(ip("10.0.2.0"), 24, 1);
+
+  int got = 0;
+  UdpSocket sock(b, 7, [&](const Packet&) { ++got; });
+  Packet p = Packet::make_udp(a.addr(), b.addr(), 1, 7, bytes_of("x"));
+  p.ip.ttl = 1;
+  a.send_ip(std::move(p));
+  net.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(r.dropped_ttl(), 1u);
+}
+
+TEST(Node, NoRouteIsCountedAndDropped) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), b, ip("10.0.1.2"), 10e6, millis(1));
+  // a has no routes at all.
+  a.send_ip(Packet::make_udp(a.addr(), ip("99.99.99.99"), 1, 7, {}));
+  net.run();
+  EXPECT_EQ(a.dropped_no_route(), 1u);
+}
+
+TEST(Node, IpHookConsumesPacket) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), b, ip("10.0.1.2"), 10e6, millis(1));
+  a.routes().add_default(0);
+
+  int hooked = 0, delivered = 0;
+  b.set_ip_hook([&](Packet&, Interface&) {
+    ++hooked;
+    return true;  // consume
+  });
+  UdpSocket sock(b, 7, [&](const Packet&) { ++delivered; });
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+  EXPECT_EQ(hooked, 1);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Node, IpHookPassThroughKeepsDefaultBehaviour) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.1.1"), b, ip("10.0.1.2"), 10e6, millis(1));
+  a.routes().add_default(0);
+
+  int hooked = 0, delivered = 0;
+  b.set_ip_hook([&](Packet&, Interface&) {
+    ++hooked;
+    return false;
+  });
+  UdpSocket sock(b, 7, [&](const Packet&) { ++delivered; });
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+  EXPECT_EQ(hooked, 1);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Node, HookCanRewriteDestination) {
+  // The essence of the load-balancing gateway: rewrite ip.dst in flight.
+  Network net;
+  Node& a = net.add_node("a");
+  Node& r = net.add_router("r");
+  Node& b1 = net.add_node("b1");
+  Node& b2 = net.add_node("b2");
+  net.link(a, ip("10.0.1.1"), r, ip("10.0.1.254"), 10e6, millis(1));
+  net.link(r, ip("10.0.2.254"), b1, ip("10.0.2.1"), 10e6, millis(1));
+  net.link(r, ip("10.0.3.254"), b2, ip("10.0.3.1"), 10e6, millis(1));
+  a.routes().add_default(0);
+  r.routes().add(ip("10.0.1.0"), 24, 0);
+  r.routes().add(ip("10.0.2.0"), 24, 1);
+  r.routes().add(ip("10.0.3.0"), 24, 2);
+
+  r.set_ip_hook([&](Packet& p, Interface&) {
+    if (p.ip.dst == ip("10.0.2.1")) {
+      p.ip.dst = ip("10.0.3.1");  // virtual -> physical
+      r.forward(std::move(p));
+      return true;
+    }
+    return false;
+  });
+
+  int got1 = 0, got2 = 0;
+  UdpSocket s1(b1, 7, [&](const Packet&) { ++got1; });
+  UdpSocket s2(b2, 7, [&](const Packet&) { ++got2; });
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(ip("10.0.2.1"), 7, bytes_of("x"));
+  net.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(Node, MulticastRoutingForwardsDownstream) {
+  Network net;
+  Node& src = net.add_node("src");
+  Node& r = net.add_router("r");
+  Node& c1 = net.add_node("c1");
+  Node& c2 = net.add_node("c2");
+  net.link(src, ip("10.0.1.1"), r, ip("10.0.1.254"), 10e6, millis(1));
+  auto& lan = net.segment("lan", 10e6);
+  net.attach(r, lan, ip("192.168.1.254"));
+  net.attach(c1, lan, ip("192.168.1.1"));
+  net.attach(c2, lan, ip("192.168.1.2"));
+
+  Ipv4Addr group = ip("224.5.6.7");
+  src.routes().add_default(0);
+  src.add_mroute(group, {0});
+  r.add_mroute(group, {1});
+  c1.join_group(group);
+  c2.join_group(group);
+
+  int got1 = 0, got2 = 0;
+  UdpSocket s1(c1, 7, [&](const Packet&) { ++got1; });
+  UdpSocket s2(c2, 7, [&](const Packet&) { ++got2; });
+  UdpSocket s(src, 9999, nullptr);
+  s.send_to(group, 7, bytes_of("audio"));
+  net.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(Node, UdpWithNoListenerIsCounted) {
+  Network net;
+  Node& n = net.add_node("n");
+  n.add_interface(ip("10.0.0.1"));
+  n.send_ip(Packet::make_udp(n.addr(), n.addr(), 1, 4242, {}));
+  net.run();
+  EXPECT_EQ(n.dropped_no_listener(), 1u);
+}
+
+}  // namespace
+}  // namespace asp::net

@@ -1,0 +1,80 @@
+#include "planp/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "planp/parser.hpp"
+
+namespace asp::planp {
+namespace {
+
+CompiledProgram compile_src(const std::string& src, CheckedProgram& checked) {
+  checked = typecheck(parse(src));
+  return compile(checked);
+}
+
+TEST(Disasm, BytecodeListingNamesOpsAndConstants) {
+  CheckedProgram checked;
+  CompiledProgram prog = compile_src(
+      "channel c(ps : int, ss : unit, p : ip*blob) is (deliver(p); (ps + 42, ss))",
+      checked);
+  std::string listing = disassemble(prog);
+  EXPECT_NE(listing.find("channel c"), std::string::npos);
+  EXPECT_NE(listing.find("LoadLocal"), std::string::npos);
+  EXPECT_NE(listing.find("; 42"), std::string::npos);
+  EXPECT_NE(listing.find("Send"), std::string::npos);
+  EXPECT_NE(listing.find("Return"), std::string::npos);
+}
+
+TEST(Disasm, FusionShowsUpInSpecializedListing) {
+  CheckedProgram checked;
+  CompiledProgram prog = compile_src(R"(
+channel c(ps : int, ss : unit, p : ip*tcp*blob) is
+  let val iph : ip = #1 p in
+    (deliver(p); (if tcpDst(#2 p) = 80 then ps + 1 else ps, ss))
+  end
+)",
+                                     checked);
+  JitBlock fused = specialize_block(prog.channel_bodies[0], prog, /*fuse=*/true);
+  JitBlock plain = specialize_block(prog.channel_bodies[0], prog, /*fuse=*/false);
+  std::string listing = disassemble(fused);
+  // `val iph = #1 p` fuses to MoveField; `tcpDst(#2 p)` projects then calls;
+  // `= 80` fuses to EqConst.
+  EXPECT_NE(listing.find("MoveField*"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("EqConst*"), std::string::npos) << listing;
+  EXPECT_LT(fused.code.size(), plain.code.size());
+  // The unfused listing has no superinstructions at all.
+  std::string plain_listing = disassemble(plain);
+  EXPECT_EQ(plain_listing.find('*'), std::string::npos) << plain_listing;
+}
+
+TEST(Disasm, JumpTargetsStayInRangeAfterFusion) {
+  CheckedProgram checked;
+  CompiledProgram prog = compile_src(R"(
+fun clas(x : int) : int =
+  if x > 100 then 3 else if x > 10 then 2 else if x > 1 then 1 else 0
+channel c(ps : int, ss : unit, p : ip*blob) is
+  (deliver(p); (clas(ps) + clas(blobLen(#2 p)), ss))
+)",
+                                     checked);
+  for (const CodeBlock* block :
+       {&prog.functions[0], &prog.channel_bodies[0]}) {
+    JitBlock jb = specialize_block(*block, prog, true);
+    for (const SInstr& in : jb.code) {
+      if (in.op == jop::kJump || in.op == jop::kJumpIfFalse ||
+          in.op == jop::kJumpIfTrue || in.op == jop::kTryPush) {
+        EXPECT_GE(in.a, 0);
+        EXPECT_LE(in.a, static_cast<std::int32_t>(jb.code.size()));
+      }
+    }
+  }
+}
+
+TEST(Disasm, EveryOpcodeHasAName) {
+  for (int op = 0; op < static_cast<int>(jop::kCount); ++op) {
+    EXPECT_STRNE(jop_name(op), "?") << "jop " << op;
+  }
+}
+
+}  // namespace
+}  // namespace asp::planp

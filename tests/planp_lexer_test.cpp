@@ -1,0 +1,110 @@
+#include "planp/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asp::planp {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::kEof}));
+  EXPECT_EQ(kinds("   \n\t  "), (std::vector<Tok>{Tok::kEof}));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto ks = kinds("val fun channel initstate is let in end if then else foo _bar x1");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::kVal, Tok::kFun, Tok::kChannel, Tok::kInitstate,
+                                  Tok::kIs, Tok::kLet, Tok::kIn, Tok::kEnd, Tok::kIf,
+                                  Tok::kThen, Tok::kElse, Tok::kIdent, Tok::kIdent,
+                                  Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto toks = lex("42 0 123456789");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].int_val, 0);
+  EXPECT_EQ(toks[2].int_val, 123456789);
+}
+
+TEST(Lexer, IpAddressLiteralIsOneToken) {
+  auto toks = lex("131.254.60.81");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kHost);
+  EXPECT_EQ(toks[0].host_val.str(), "131.254.60.81");
+}
+
+TEST(Lexer, MalformedIpAddressThrows) {
+  EXPECT_THROW(lex("1.2.3"), PlanPError);
+  EXPECT_THROW(lex("1.2.3.999"), PlanPError);
+}
+
+TEST(Lexer, StringLiteralWithEscapes) {
+  auto toks = lex(R"("CmdA: " "a\nb" "q\"q")");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "CmdA: ");
+  EXPECT_EQ(toks[1].text, "a\nb");
+  EXPECT_EQ(toks[2].text, "q\"q");
+}
+
+TEST(Lexer, UnterminatedStringThrows) { EXPECT_THROW(lex("\"abc"), PlanPError); }
+
+TEST(Lexer, CharLiteral) {
+  auto toks = lex(R"('a' '\n' '\'')");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].char_val, 'a');
+  EXPECT_EQ(toks[1].char_val, '\n');
+  EXPECT_EQ(toks[2].char_val, '\'');
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto ks = kinds("val -- this is a comment val fun\nx");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::kVal, Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, MinusVersusComment) {
+  // A single '-' is the operator; '--' starts a comment.
+  auto ks = kinds("a - b");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::kIdent, Tok::kMinus, Tok::kIdent, Tok::kEof}));
+  auto ks2 = kinds("a -- b");
+  EXPECT_EQ(ks2, (std::vector<Tok>{Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, CompositeOperators) {
+  auto ks = kinds("<> <= >= < > = # ^ %");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::kNe, Tok::kLe, Tok::kGe, Tok::kLt, Tok::kGt,
+                                  Tok::kEq, Tok::kHash, Tok::kCaret, Tok::kPercent,
+                                  Tok::kEof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = lex("val\n  x");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  EXPECT_THROW(lex("val @ x"), PlanPError);
+  EXPECT_THROW(lex("a ! b"), PlanPError);
+}
+
+TEST(Lexer, HashTableIsAKeyword) {
+  EXPECT_EQ(kinds("hash_table"), (std::vector<Tok>{Tok::kHashTable, Tok::kEof}));
+}
+
+TEST(Lexer, PaperFigure2FirstLineLexes) {
+  auto toks = lex("channel network(ps : int, ss : (int, host) hash_table, "
+                  "p : ip*tcp*blob)");
+  EXPECT_EQ(toks.front().kind, Tok::kChannel);
+  EXPECT_EQ(toks.back().kind, Tok::kEof);
+}
+
+}  // namespace
+}  // namespace asp::planp

@@ -1,0 +1,166 @@
+#include "planp/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asp::planp {
+namespace {
+
+TEST(Parser, ExpressionPrecedence) {
+  EXPECT_EQ(to_string(*parse_expr("1 + 2 * 3")), "(1 + (2 * 3))");
+  EXPECT_EQ(to_string(*parse_expr("(1 + 2) * 3")), "((1 + 2) * 3)");
+  EXPECT_EQ(to_string(*parse_expr("1 + 2 = 3 + 4")), "((1 + 2) = (3 + 4))");
+  EXPECT_EQ(to_string(*parse_expr("a and b or c")), "((a and b) or c)");
+  EXPECT_EQ(to_string(*parse_expr("not a and b")), "(not a and b)");
+  EXPECT_EQ(to_string(*parse_expr("1 - 2 - 3")), "((1 - 2) - 3)");
+}
+
+TEST(Parser, UnaryMinusAndProjectionBindTightly) {
+  EXPECT_EQ(to_string(*parse_expr("-x + 1")), "(- x + 1)");
+  EXPECT_EQ(to_string(*parse_expr("#1 p = 3")), "(#1 p = 3)");
+  EXPECT_EQ(to_string(*parse_expr("#2 #1 p")), "#2 #1 p");
+}
+
+TEST(Parser, ParenDisambiguation) {
+  // (a; b) is a sequence, (a, b) a tuple, (a) grouping, () unit.
+  EXPECT_EQ(parse_expr("(a; b)")->kind, Expr::Kind::kSeq);
+  EXPECT_EQ(parse_expr("(a, b)")->kind, Expr::Kind::kTuple);
+  EXPECT_EQ(parse_expr("(a)")->kind, Expr::Kind::kVar);
+  EXPECT_EQ(parse_expr("()")->kind, Expr::Kind::kUnitLit);
+}
+
+TEST(Parser, LetDesugarsMultipleBindings) {
+  ExprPtr e = parse_expr(
+      "let val x : int = 1 val y : int = 2 in x + y end");
+  ASSERT_EQ(e->kind, Expr::Kind::kLet);
+  EXPECT_EQ(e->name, "x");
+  ASSERT_EQ(e->args[1]->kind, Expr::Kind::kLet);
+  EXPECT_EQ(e->args[1]->name, "y");
+}
+
+TEST(Parser, LetRequiresBinding) {
+  EXPECT_THROW(parse_expr("let in 1 end"), PlanPError);
+}
+
+TEST(Parser, IfRequiresElse) {
+  EXPECT_THROW(parse_expr("if a then b"), PlanPError);
+}
+
+TEST(Parser, SendForms) {
+  ExprPtr r = parse_expr("OnRemote(network, (iph, tcp, body))");
+  ASSERT_EQ(r->kind, Expr::Kind::kSend);
+  EXPECT_EQ(r->send_kind, SendKind::kOnRemote);
+  EXPECT_EQ(r->name, "network");
+
+  ExprPtr n = parse_expr("OnNeighbor(audio, p)");
+  EXPECT_EQ(n->send_kind, SendKind::kOnNeighbor);
+
+  ExprPtr d = parse_expr("deliver(p)");
+  EXPECT_EQ(d->send_kind, SendKind::kDeliver);
+
+  ExprPtr dr = parse_expr("drop()");
+  EXPECT_EQ(dr->send_kind, SendKind::kDrop);
+  EXPECT_TRUE(dr->args.empty());
+}
+
+TEST(Parser, TryRaise) {
+  ExprPtr e = parse_expr("try tableGet(t, k) with 0");
+  ASSERT_EQ(e->kind, Expr::Kind::kTry);
+  ExprPtr r = parse_expr("raise \"NotFound\"");
+  EXPECT_EQ(r->kind, Expr::Kind::kRaise);
+  EXPECT_EQ(r->str_val, "NotFound");
+}
+
+TEST(Parser, ValDefinition) {
+  Program p = parse("val CmdA : int = 1\nval CmdB : int = 2");
+  ASSERT_EQ(p.decls.size(), 2u);
+  const auto& v = std::get<ValDef>(p.decls[0]);
+  EXPECT_EQ(v.name, "CmdA");
+  EXPECT_TRUE(v.type->is(Type::Kind::kInt));
+}
+
+TEST(Parser, FunDefinition) {
+  Program p = parse("fun add(a : int, b : int) : int = a + b");
+  const auto& f = std::get<FunDef>(p.decls[0]);
+  EXPECT_EQ(f.name, "add");
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_EQ(f.params[0].first, "a");
+  EXPECT_TRUE(f.ret->is(Type::Kind::kInt));
+}
+
+TEST(Parser, ChannelDefinitionWithInitstate) {
+  Program p = parse(
+      "channel network(ps : int, ss : (host, int) hash_table, p : ip*tcp*blob)\n"
+      "initstate mkTable(256) is (ps, ss)");
+  const auto& c = std::get<ChannelDef>(p.decls[0]);
+  EXPECT_EQ(c.name, "network");
+  EXPECT_EQ(c.ps_name, "ps");
+  EXPECT_EQ(c.ss_name, "ss");
+  EXPECT_EQ(c.p_name, "p");
+  ASSERT_NE(c.init_state, nullptr);
+  EXPECT_EQ(c.packet_type->str(), "ip*tcp*blob");
+  EXPECT_EQ(c.ss_type->str(), "(host, int) hash_table");
+}
+
+TEST(Parser, ChannelWithoutInitstate) {
+  Program p = parse("channel network(ps : unit, ss : unit, p : ip*udp*blob) is (ps, ss)");
+  const auto& c = std::get<ChannelDef>(p.decls[0]);
+  EXPECT_EQ(c.init_state, nullptr);
+}
+
+TEST(Parser, TupleTypesNest) {
+  Program p = parse("val x : int*(bool*char)*host = (1, (true, 'c'), 10.0.0.1)");
+  const auto& v = std::get<ValDef>(p.decls[0]);
+  EXPECT_EQ(v.type->str(), "int*(bool*char)*host");
+}
+
+TEST(Parser, HashTableTypeRequiresKeyAndValue) {
+  EXPECT_THROW(parse("val t : (int) hash_table = mkTable(4)"), PlanPError);
+}
+
+TEST(Parser, SourceLineCountSkipsBlanksAndPureComments) {
+  Program p = parse("val a : int = 1\n\n-- comment only\nval b : int = 2\n");
+  EXPECT_EQ(p.source_lines, 3);  // two defs + the comment line (non-blank)
+}
+
+TEST(Parser, PaperFigure4OverloadedChannelsParse) {
+  // Figure 4 of the paper, adapted to our hash_table-free fragment.
+  Program p = parse(R"(
+val CmdA : int = 1
+val CmdB : int = 2
+
+channel network(ps : unit, ss : unit, p : ip*tcp*char*int) is
+  if charPos(#3 p) = CmdA then
+    (print("CmdA: "); println(#4 p); (ps, ss))
+  else
+    (ps, ss)
+
+channel network(ps : unit, ss : unit, p : ip*tcp*char*bool) is
+  if charPos(#3 p) = CmdB then
+    (print("CmdB: "); println(#4 p); (ps, ss))
+  else
+    (ps, ss)
+)");
+  auto chans = p.channels();
+  ASSERT_EQ(chans.size(), 2u);
+  EXPECT_EQ(chans[0]->name, "network");
+  EXPECT_EQ(chans[1]->name, "network");
+  EXPECT_EQ(chans[0]->packet_type->str(), "ip*tcp*char*int");
+  EXPECT_EQ(chans[1]->packet_type->str(), "ip*tcp*char*bool");
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    parse("val x : int = \n  1 +");
+    FAIL() << "expected parse error";
+  } catch (const PlanPError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+  }
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_expr("1 + 2 junk"), PlanPError);
+  EXPECT_THROW(parse("val x : int = 1 42"), PlanPError);
+}
+
+}  // namespace
+}  // namespace asp::planp

@@ -1,0 +1,136 @@
+#include "runtime/deploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace asp::runtime {
+namespace {
+
+using asp::net::ip;
+using asp::net::millis;
+using asp::net::Network;
+using asp::net::Node;
+using asp::net::seconds;
+
+struct DeployRig {
+  DeployRig() {
+    admin = &net.add_node("admin");
+    router = &net.add_router("router");
+    net.link(*admin, ip("10.0.1.1"), *router, ip("10.0.1.254"), 10e6, millis(1));
+    admin->routes().add_default(0);
+    rt = std::make_unique<AspRuntime>(*router);
+    server = std::make_unique<DeployServer>(*rt);
+    deployer = std::make_unique<Deployer>(*admin);
+  }
+
+  DeployResult deploy(const std::string& source, Deployer::Options opts = {}) {
+    DeployResult out;
+    bool fired = false;
+    deployer->deploy(router->addr(), source,
+                     [&](const DeployResult& r) {
+                       out = r;
+                       fired = true;
+                     },
+                     opts);
+    net.run_until(net.now() + seconds(5));
+    EXPECT_TRUE(fired) << "no reply from deployment daemon";
+    return out;
+  }
+
+  Network net;
+  Node* admin;
+  Node* router;
+  std::unique_ptr<AspRuntime> rt;
+  std::unique_ptr<DeployServer> server;
+  std::unique_ptr<Deployer> deployer;
+};
+
+const char* kGoodAsp =
+    "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n"
+    "  (OnRemote(network, p); (ps + 1, ss))";
+
+TEST(Deploy, InstallsVerifiedProtocolRemotely) {
+  DeployRig rig;
+  DeployResult r = rig.deploy(kGoodAsp);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(rig.rt->installed());
+  EXPECT_EQ(rig.server->deployments(), 1);
+  // The reply reports channel count and codegen time.
+  EXPECT_EQ(r.message.rfind("OK 1 ", 0), 0u) << r.message;
+}
+
+TEST(Deploy, DeployedProtocolActuallyRuns) {
+  DeployRig rig;
+  ASSERT_TRUE(rig.deploy(kGoodAsp).ok);
+  // Ping a third node through the router: the deployed ASP forwards it.
+  Node& far = rig.net.add_node("far");
+  rig.net.link(*rig.router, ip("10.0.2.254"), far, ip("10.0.2.1"), 10e6, millis(1));
+  far.routes().add_default(0);
+  int got = 0;
+  asp::net::UdpSocket sink(far, 7, [&](const asp::net::Packet&) { ++got; });
+  asp::net::UdpSocket src(*rig.admin, 9999, nullptr);
+  src.send_to(far.addr(), 7, asp::net::bytes_of("x"));
+  rig.net.run_until(rig.net.now() + seconds(1));
+  EXPECT_EQ(got, 1);
+  EXPECT_GT(rig.rt->packets_handled(), 0u);
+}
+
+TEST(Deploy, SyntaxErrorIsReportedNotInstalled) {
+  DeployRig rig;
+  DeployResult r = rig.deploy("channel oops(");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("ERR"), std::string::npos);
+  EXPECT_FALSE(rig.rt->installed());
+  EXPECT_EQ(rig.server->rejections(), 1);
+}
+
+TEST(Deploy, GateRejectsUnverifiableWithoutAuthentication) {
+  DeployRig rig;
+  const char* ping_pong = R"(
+channel network(ps : unit, ss : unit, p : ip*udp*blob) is
+  if ipDst(#1 p) = 10.0.0.1 then
+    (OnRemote(network, (ipDestSet(#1 p, 10.0.0.2), #2 p, #3 p)); (ps, ss))
+  else
+    (OnRemote(network, (ipDestSet(#1 p, 10.0.0.1), #2 p, #3 p)); (ps, ss))
+)";
+  DeployResult r = rig.deploy(ping_pong);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("verification"), std::string::npos);
+
+  // The paper's escape hatch: authenticated users may deploy it anyway.
+  Deployer::Options opts;
+  opts.authenticated = true;
+  DeployResult r2 = rig.deploy(ping_pong, opts);
+  EXPECT_TRUE(r2.ok) << r2.message;
+  EXPECT_TRUE(rig.rt->installed());
+}
+
+TEST(Deploy, RedeploymentReplacesProtocol) {
+  DeployRig rig;
+  ASSERT_TRUE(rig.deploy(kGoodAsp).ok);
+  const char* v2 =
+      "channel network(ps : int, ss : unit, p : ip*udp*blob) is\n"
+      "  (println(\"v2\"); OnRemote(network, p); (ps + 1, ss))";
+  ASSERT_TRUE(rig.deploy(v2).ok);
+  EXPECT_EQ(rig.server->deployments(), 2);
+  // Traffic now hits v2.
+  Node& far = rig.net.add_node("far");
+  rig.net.link(*rig.router, ip("10.0.2.254"), far, ip("10.0.2.1"), 10e6, millis(1));
+  asp::net::UdpSocket sink(far, 7, [](const asp::net::Packet&) {});
+  asp::net::UdpSocket src(*rig.admin, 9999, nullptr);
+  src.send_to(far.addr(), 7, asp::net::bytes_of("x"));
+  rig.net.run_until(rig.net.now() + seconds(1));
+  EXPECT_EQ(rig.rt->log(), "v2\n");
+}
+
+TEST(Deploy, EngineSelectionIsHonoured) {
+  DeployRig rig;
+  Deployer::Options opts;
+  opts.engine = planp::EngineKind::kInterp;
+  ASSERT_TRUE(rig.deploy(kGoodAsp, opts).ok);
+  EXPECT_STREQ(rig.rt->protocol().engine().engine_name(), "interp");
+}
+
+}  // namespace
+}  // namespace asp::runtime

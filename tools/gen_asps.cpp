@@ -1,0 +1,33 @@
+// Regenerates the human-readable ASP files in /asps from the embedded
+// sources (the build's asp_files_test asserts they stay in sync).
+//
+// Run from the repository root:  ./build/tools/gen_asps
+#include <fstream>
+
+#include "apps/asp_sources.hpp"
+#include "net/network.hpp"
+
+using namespace asp;
+
+int main() {
+  auto w = [](const char* path, const std::string& s) { std::ofstream(path) << s; };
+  w("asps/audio_router.planp", apps::audio_router_asp());
+  w("asps/audio_client.planp", apps::audio_client_asp());
+  w("asps/http_gateway.planp",
+    apps::http_gateway_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                           net::ip("131.254.60.109")));
+  w("asps/http_gateway_hash.planp",
+    apps::http_gateway_hash_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                                net::ip("131.254.60.109")));
+  w("asps/http_gateway_failover.planp",
+    apps::http_gateway_failover_asp(net::ip("10.0.9.9"), net::ip("131.254.60.81"),
+                                    net::ip("131.254.60.109")));
+  w("asps/mpeg_monitor.planp", apps::mpeg_monitor_asp(net::ip("10.0.1.1")));
+  w("asps/mpeg_reply.planp", apps::mpeg_reply_asp());
+  w("asps/mpeg_capture.planp",
+    apps::mpeg_capture_asp(net::ip("192.168.1.1"), 7000, 7010));
+  w("asps/image_distill.planp", apps::image_distill_asp());
+  w("asps/bridge.planp", apps::bridge_asp());
+  w("asps/audio_router_hysteresis.planp", apps::audio_router_hysteresis_asp());
+  return 0;
+}
