@@ -15,6 +15,7 @@
 #include "planp/interp.hpp"
 #include "planp/jit.hpp"
 #include "planp/parser.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -97,4 +98,11 @@ BENCHMARK(BM_Ablation_TemplateCounts)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  asp::obs::write_bench_json("ablation_jit");
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "planp/compile.hpp"
 #include "planp/jit.hpp"
 #include "planp/parser.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -92,5 +93,6 @@ int main(int argc, char** argv) {
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  asp::obs::write_bench_json("fig3_codegen");
   return 0;
 }

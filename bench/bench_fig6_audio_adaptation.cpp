@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/audio/experiment.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace asp::apps;
@@ -34,5 +35,6 @@ int main() {
               "at t>100 ->\n  a 57..101 mix while the medium load straddles the "
               "threshold (t>220; the paper's\n  'varies between 8 and 16 bit "
               "monaural') -> ~101 kb/s (16-bit mono) at t>340\n");
+  asp::obs::write_bench_json("fig6_audio_adaptation");
   return 0;
 }

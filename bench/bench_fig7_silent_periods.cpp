@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "apps/audio/experiment.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace asp::apps;
@@ -38,5 +39,6 @@ int main() {
   }
   std::printf("\nexpected shape: under saturating loads, adaptation removes nearly "
               "all playback gaps.\n");
+  asp::obs::write_bench_json("fig7_silent_periods");
   return 0;
 }

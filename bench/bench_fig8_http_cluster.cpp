@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/http/experiment.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace asp::apps;
@@ -49,5 +50,6 @@ int main() {
               peak_asp / peak_single);
   std::printf("  cluster vs disjoint two servers   : %.0f%%  (paper: ~85%%)\n",
               100.0 * peak_asp / peak_disjoint);
+  asp::obs::write_bench_json("fig8_http_cluster");
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "apps/http/experiment.hpp"
+#include "obs/metrics.hpp"
 
 using namespace asp::apps;
 
@@ -68,5 +69,6 @@ int main() {
   exp.run(30.0);
   std::printf("\nexpected shape: srv0's per-interval count collapses to ~0 after "
               "t=10 while srv1 absorbs the load.\n");
+  asp::obs::write_bench_json("http_strategies");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "planp/jit.hpp"
 #include "planp/parser.hpp"
 #include "planp/program.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -180,4 +181,11 @@ BENCHMARK(BM_Audio_BuiltinC);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  asp::obs::write_bench_json("jit_vs_c");
+  return 0;
+}

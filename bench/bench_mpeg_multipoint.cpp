@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "apps/mpeg/experiment.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace asp::apps;
@@ -31,5 +32,6 @@ int main() {
   std::printf("\nexpected shape: server streams/egress grow linearly without ASPs "
               "and stay constant with them;\nmin client rate stays at the full "
               "stream rate (~0.8 Mb/s) in both cases.\n");
+  asp::obs::write_bench_json("mpeg_multipoint");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "net/network.hpp"
 #include "planp/analysis.hpp"
 #include "planp/parser.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  asp::obs::write_bench_json("verifier");
   return 0;
 }

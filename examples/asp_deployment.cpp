@@ -30,7 +30,12 @@ int main() {
 
   auto report = [](const char* what) {
     return [what](const runtime::DeployResult& r) {
-      std::printf("%-34s -> %s\n", what, r.message.c_str());
+      if (r.ok) {
+        std::printf("%-34s -> OK %d channel(s), codegen %.1f us\n", what,
+                    r.channels, r.codegen_us);
+      } else {
+        std::printf("%-34s -> ERR %s\n", what, r.error.c_str());
+      }
     };
   };
 

@@ -65,8 +65,9 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
 
   std::printf("packets at port 7000: %d (expected 0 - redirected)\n", at_7000);
   std::printf("packets at port 7777: %d (expected 5)\n", at_7777);
+  asp::runtime::RuntimeStats stats = rt.stats();
   std::printf("ASP handled %llu packets, passed %llu through\n",
-              static_cast<unsigned long long>(rt.packets_handled()),
-              static_cast<unsigned long long>(rt.packets_passed()));
+              static_cast<unsigned long long>(stats.packets_handled),
+              static_cast<unsigned long long>(stats.packets_passed));
   return at_7777 == 5 ? 0 : 1;
 }

@@ -46,7 +46,7 @@ AudioClient::AudioClient(asp::net::Node& node, asp::net::Ipv4Addr group)
   node_.join_group(group);
   // Wire-rate tap: counts audio bytes as they arrive, i.e. the degraded
   // format, before the client ASP reconstructs them.
-  node_.set_rx_tap([this](const Packet& p, const asp::net::Interface&) {
+  node_.add_rx_tap([this](const Packet& p, const asp::net::Interface&) {
     bool is_audio = p.udp && p.udp->dport == AudioFormat::kPort;
     if (is_audio) {
       wire_meter_.record(node_.events().now(), p.wire_size());

@@ -78,7 +78,7 @@ AudioRunResult AudioExperiment::run(double duration_sec,
 
   // Generator-rate meter for reporting.
   auto gen_meter = std::make_shared<asp::net::BandwidthMeter>(asp::net::kNsPerSec / 2);
-  sink_node_->set_rx_tap(
+  sink_node_->add_rx_tap(
       [this, gen_meter](const asp::net::Packet& p, const asp::net::Interface&) {
         if (p.udp && p.udp->dport == 9) gen_meter->record(net_.now(), p.wire_size());
       });

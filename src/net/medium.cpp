@@ -9,6 +9,13 @@ void Interface::transmit(Packet p) {
   medium_->transmit(*this, std::move(p));
 }
 
+void Interface::note_tx(SimTime now, std::size_t bytes) {
+  tx_bytes_ += bytes;
+  ++tx_packets_;
+  tx_meter_.record(now, bytes);
+  if (node_ != nullptr) node_->note_tx_metrics(bytes);
+}
+
 void PointToPointLink::transmit(Interface& from, Packet p) {
   int dir = (&from == ends_[0]) ? 0 : 1;
   Interface* to = ends_[1 - dir];

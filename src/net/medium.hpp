@@ -46,11 +46,7 @@ class Interface {
   BandwidthMeter& tx_meter() { return tx_meter_; }
   std::uint64_t tx_bytes() const { return tx_bytes_; }
   std::uint64_t tx_packets() const { return tx_packets_; }
-  void note_tx(SimTime now, std::size_t bytes) {
-    tx_bytes_ += bytes;
-    ++tx_packets_;
-    tx_meter_.record(now, bytes);
-  }
+  void note_tx(SimTime now, std::size_t bytes);  // defined in medium.cpp (needs Node)
 
  private:
   Node* node_;

@@ -33,7 +33,16 @@ void UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport,
 }
 
 Node::Node(EventQueue& events, std::string name)
-    : events_(events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {}
+    : events_(events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {
+  obs::MetricsRegistry& reg = obs::registry();
+  const std::string prefix = "node/" + name_ + "/net/";
+  m_rx_packets_ = &reg.counter(prefix + "rx_packets");
+  m_rx_bytes_ = &reg.counter(prefix + "rx_bytes");
+  m_tx_packets_ = &reg.counter(prefix + "tx_packets");
+  m_tx_bytes_ = &reg.counter(prefix + "tx_bytes");
+  m_delivered_ = &reg.counter(prefix + "delivered_packets");
+  m_dropped_ = &reg.counter(prefix + "dropped_packets");
+}
 
 Node::~Node() = default;
 
@@ -60,7 +69,9 @@ Ipv4Addr Node::addr() const { return ifaces_.empty() ? Ipv4Addr{} : ifaces_[0]->
 void Node::receive(Packet p, Interface& in) {
   ++rx_packets_;
   rx_bytes_ += p.wire_size();
-  if (rx_tap_) rx_tap_(p, in);
+  m_rx_packets_->inc();
+  m_rx_bytes_->inc(p.wire_size());
+  for (const RxTap& tap : rx_taps_) tap(p, in);
 
   // The PLAN-P layer sees the packet before the standard IP behaviour.
   if (ip_hook_ && ip_hook_(p, in)) return;
@@ -91,6 +102,7 @@ void Node::receive(Packet p, Interface& in) {
 
   if (p.ip.ttl <= 1) {
     ++dropped_ttl_;
+    m_dropped_->inc();
     return;
   }
   --p.ip.ttl;
@@ -105,6 +117,7 @@ void Node::forward(Packet p) {
         it != mroutes_.end() ? it->second : kDefaultOut;  // hosts: iface 0
     if (ifaces_.empty()) {
       ++dropped_no_route_;
+      m_dropped_->inc();
       return;
     }
     for (std::size_t k = 0; k < outs.size(); ++k) {
@@ -118,6 +131,7 @@ void Node::forward(Packet p) {
   const Route* r = routes_.lookup(p.ip.dst);
   if (r == nullptr) {
     ++dropped_no_route_;
+    m_dropped_->inc();
     return;
   }
   p.l2_next_hop = r->next_hop;
@@ -136,6 +150,7 @@ void Node::send_ip(Packet p) {
 
 void Node::deliver_local(Packet p) {
   ++delivered_packets_;
+  m_delivered_->inc();
   if (p.ip.proto == IpProto::kUdp && p.udp) {
     auto it = udp_ports_.find(p.udp->dport);
     if (it != udp_ports_.end()) {
@@ -143,13 +158,18 @@ void Node::deliver_local(Packet p) {
       return;
     }
     ++dropped_no_listener_;
+    m_dropped_->inc();
     return;
   }
   if (p.ip.proto == IpProto::kTcp && p.tcp) {
-    if (!tcp_->on_packet(p)) ++dropped_no_listener_;
+    if (!tcp_->on_packet(p)) {
+      ++dropped_no_listener_;
+      m_dropped_->inc();
+    }
     return;
   }
   ++dropped_no_listener_;
+  m_dropped_->inc();
 }
 
 }  // namespace asp::net

@@ -13,6 +13,7 @@
 #include "net/event.hpp"
 #include "net/medium.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace asp::net {
 
@@ -108,10 +109,22 @@ class Node {
   /// Installs/clears the PLAN-P intercept for packets entering the IP layer.
   void set_ip_hook(IpHook hook) { ip_hook_ = std::move(hook); }
 
-  /// Pure observer invoked on every received packet, before the hook
-  /// (measurement taps for experiments; cannot consume or modify).
+  /// Pure observers invoked on every received packet, before the hook
+  /// (measurement taps for experiments; cannot consume or modify). Taps
+  /// compose: each add_rx_tap appends to a multicast list, so a tracer and a
+  /// metrics probe can watch the same node.
   using RxTap = std::function<void(const Packet&, const Interface&)>;
-  void set_rx_tap(RxTap tap) { rx_tap_ = std::move(tap); }
+  void add_rx_tap(RxTap tap) {
+    if (tap) rx_taps_.push_back(std::move(tap));
+  }
+  void clear_rx_taps() { rx_taps_.clear(); }
+  /// Single-tap shim kept for source compatibility: clears every installed
+  /// tap, then installs `tap` (nullptr just clears).
+  [[deprecated("replaces every installed tap; use add_rx_tap")]] void set_rx_tap(
+      RxTap tap) {
+    rx_taps_.clear();
+    if (tap) rx_taps_.push_back(std::move(tap));
+  }
 
   /// Entry point from a medium: a packet arrived on `in`.
   void receive(Packet p, Interface& in);
@@ -141,6 +154,13 @@ class Node {
   /// Fresh packet id (node-scoped uniqueness is enough for tracing).
   std::uint64_t next_packet_id() { return ++packet_seq_; }
 
+  /// Egress accounting hook (called by Interface::note_tx): mirrors transmit
+  /// volume into the global metrics registry.
+  void note_tx_metrics(std::size_t bytes) {
+    m_tx_packets_->inc();
+    m_tx_bytes_->inc(bytes);
+  }
+
  private:
   friend class UdpSocket;
 
@@ -152,9 +172,18 @@ class Node {
   std::set<Ipv4Addr> groups_;
   std::map<Ipv4Addr, std::vector<int>> mroutes_;
   IpHook ip_hook_;
-  RxTap rx_tap_;
+  std::vector<RxTap> rx_taps_;
   std::map<std::uint16_t, UdpSocket*> udp_ports_;
   std::unique_ptr<TcpStack> tcp_;
+
+  // Cached instruments in the global registry (node/<name>/net/...). The
+  // scalar accessors above stay per-instance; these accumulate process-wide.
+  obs::Counter* m_rx_packets_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
+  obs::Counter* m_tx_packets_ = nullptr;
+  obs::Counter* m_tx_bytes_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
 
   std::uint64_t rx_packets_ = 0;
   std::uint64_t rx_bytes_ = 0;

@@ -30,10 +30,10 @@ class PacketTracer {
   /// Maximum retained events; older ones are discarded (ring semantics).
   explicit PacketTracer(std::size_t capacity = 100'000) : capacity_(capacity) {}
 
-  /// Starts recording packets arriving at `n`. Uses the node's rx tap;
-  /// replaces any previously installed tap.
+  /// Starts recording packets arriving at `n`. Adds an rx tap; other taps
+  /// (a second tracer, a metrics probe) keep firing alongside this one.
   void attach(Node& n) {
-    n.set_rx_tap([this, name = n.name()](const Packet& p, const Interface&) {
+    n.add_rx_tap([this, name = n.name()](const Packet& p, const Interface&) {
       record(0, name, p);
     });
   }

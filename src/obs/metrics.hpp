@@ -1,0 +1,139 @@
+// Observability: a lightweight metrics subsystem (paper-evaluation plumbing).
+//
+// The paper's whole evaluation is quantitative — codegen latency (Figure 3),
+// per-router bandwidth adaptation (Figures 5-7), HTTP cluster throughput
+// (Figure 8) — so every layer of this reproduction reports into a
+// MetricsRegistry, and every bench snapshots the registry to a
+// machine-readable BENCH_<name>.json next to its stdout report.
+//
+// Instruments:
+//   Counter    monotone uint64 (packets, bytes, errors).
+//   Gauge      last-written double (levels, rates).
+//   Histogram  fixed log2-bucket distribution with p50/p90/p99 estimates
+//              (latencies in microseconds, sizes in bytes).
+//
+// Names are hierarchical, slash-separated, lowercase:
+//   node/<node-name>/<layer>/<metric>     e.g. node/router/asp/packets_handled
+//   planp/<stage>/<metric>                e.g. planp/jit/codegen_us
+// Units ride in the final component (_us, _bytes, _bps) so exported JSON is
+// self-describing.
+//
+// A process-wide default registry (obs::registry()) collects everything; the
+// simulator's nodes and the PLAN-P pipeline register into it keyed by node
+// name, so metrics accumulate across Network instances within one process
+// (benches construct many). Components that need exact per-instance figures
+// capture a baseline at construction and report deltas (see
+// runtime::AspRuntime::stats()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace asp::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed log2-bucket histogram over non-negative values.
+///
+/// Bucket 0 covers [0, 1]; bucket i (i >= 1) covers (2^(i-1), 2^i]. Exact
+/// count/sum/min/max are kept alongside, and quantile() interpolates linearly
+/// inside the selected bucket with the bucket bounds clamped to the observed
+/// [min, max] — for smooth distributions the estimate lands within a few
+/// percent of the true quantile (tests/obs_metrics_test.cpp pins this down).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0; }
+
+  /// Estimated value at quantile q in [0, 1]. 0 when empty.
+  double quantile(double q) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Inclusive upper bound of bucket i (1, 2, 4, ... as doubles).
+  static double bucket_upper_bound(int i);
+
+  void reset() { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Owns every instrument, keyed by hierarchical name. Instruments are created
+/// on first access and live as long as the registry; returned references stay
+/// valid across later registrations (std::map node stability).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zeroes every instrument without invalidating cached references.
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide default registry every layer reports into.
+MetricsRegistry& registry();
+
+/// Serializes a registry as deterministic (name-sorted) JSON:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"<name>": {"count": .., "sum": .., "min": .., "max": ..,
+///                              "mean": .., "p50": .., "p90": .., "p99": ..,
+///                              "buckets": {"<upper-bound>": <count>, ...}}}}
+std::string to_json(const MetricsRegistry& reg);
+
+/// Writes to_json(reg) to `path`. Returns false on I/O failure.
+bool write_json(const MetricsRegistry& reg, const std::string& path);
+
+/// Bench exit hook: snapshots the default registry to BENCH_<bench_name>.json
+/// in the working directory and prints the path. Returns the path ("" on
+/// failure).
+std::string write_bench_json(const std::string& bench_name);
+
+}  // namespace asp::obs

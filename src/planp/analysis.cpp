@@ -1,9 +1,11 @@
 #include "planp/analysis.hpp"
 
+#include <chrono>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "planp/primitives.hpp"
 
 namespace asp::planp {
@@ -436,6 +438,7 @@ class DuplicationAnalysis {
 }  // namespace
 
 AnalysisReport analyze(const CheckedProgram& prog) {
+  auto t0 = std::chrono::steady_clock::now();
   AnalysisReport report;
 
   // 1. Local termination: structural — no loops in the grammar, and the type
@@ -523,6 +526,18 @@ AnalysisReport analyze(const CheckedProgram& prog) {
       break;
     }
   }
+
+  // The verifier-cost story (§2.1): every analysis run reports its wall time
+  // and explored-state count into the registry.
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.histogram("planp/verify/analyze_us")
+      .observe(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count());
+  reg.counter("planp/verify/runs").inc();
+  reg.counter("planp/verify/states_explored")
+      .inc(static_cast<std::uint64_t>(report.states_explored));
+  if (!report.accepted()) reg.counter("planp/verify/gate_rejections").inc();
 
   return report;
 }

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace asp::planp {
 
 namespace {
@@ -211,6 +213,13 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
   }
   stats_.code_bytes = stats_.output_instrs * sizeof(SInstr);
   if (prog_.source != nullptr) stats_.source_lines = prog_.source->program.source_lines;
+
+  // Figure 3 in registry form: specialization cost per JIT construction.
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.histogram("planp/jit/codegen_us").observe(stats_.generation_ms * 1000.0);
+  reg.counter("planp/jit/compiles").inc();
+  reg.counter("planp/jit/input_instrs").inc(stats_.input_instrs);
+  reg.counter("planp/jit/output_instrs").inc(stats_.output_instrs);
 
   globals_.reserve(global_blocks.size());
   for (const JitBlock& b : global_blocks) {

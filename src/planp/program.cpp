@@ -1,8 +1,22 @@
 #include "planp/program.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
 #include "planp/parser.hpp"
 
 namespace asp::planp {
+
+namespace {
+
+// Microseconds since `t0`, for the planp/install/* stage histograms.
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+}  // namespace
 
 VerificationError::VerificationError(const AnalysisReport& report) : report_(report) {
   message_ = "protocol rejected by verification:";
@@ -17,12 +31,29 @@ VerificationError::VerificationError(const AnalysisReport& report) : report_(rep
 
 std::unique_ptr<Protocol> Protocol::load(const std::string& source, EnvApi& env,
                                          Options opts) {
+  // Stage timings back the paper's "downloading is cheap" claim (Figure 3);
+  // every install feeds the planp/install/* histograms in the registry.
+  obs::MetricsRegistry& reg = obs::registry();
+  auto total0 = std::chrono::steady_clock::now();
+
   auto proto = std::unique_ptr<Protocol>(new Protocol());
-  proto->checked_ = typecheck(parse(source));
+  auto t0 = std::chrono::steady_clock::now();
+  Program parsed = parse(source);
+  reg.histogram("planp/install/parse_us").observe(us_since(t0));
+
+  t0 = std::chrono::steady_clock::now();
+  proto->checked_ = typecheck(std::move(parsed));
+  reg.histogram("planp/install/typecheck_us").observe(us_since(t0));
+
+  t0 = std::chrono::steady_clock::now();
   proto->report_ = analyze(proto->checked_);
+  reg.histogram("planp/install/verify_us").observe(us_since(t0));
   if (opts.require_verified && !proto->report_.accepted()) {
+    reg.counter("planp/install/verify_rejections").inc();
     throw VerificationError(proto->report_);
   }
+
+  t0 = std::chrono::steady_clock::now();
   switch (opts.engine) {
     case EngineKind::kInterp:
       proto->engine_ = std::make_unique<Interp>(proto->checked_, env);
@@ -36,6 +67,9 @@ std::unique_ptr<Protocol> Protocol::load(const std::string& source, EnvApi& env,
       proto->engine_ = std::make_unique<JitEngine>(proto->compiled_, env);
       break;
   }
+  reg.histogram("planp/install/codegen_us").observe(us_since(t0));
+  reg.histogram("planp/install/total_us").observe(us_since(total0));
+  reg.counter("planp/install/count").inc();
   return proto;
 }
 

@@ -8,13 +8,28 @@ using asp::net::TcpConnection;
 
 DeployServer::DeployServer(AspRuntime& runtime, std::uint16_t port)
     : runtime_(runtime) {
+  obs::MetricsRegistry& reg = obs::registry();
+  const std::string prefix = "node/" + runtime_.node().name() + "/deploy/";
+  m_deployments_ = &reg.counter(prefix + "deployments");
+  m_rejections_ = &reg.counter(prefix + "rejections");
+  m_rx_bytes_ = &reg.counter(prefix + "rx_bytes");
+
   runtime_.node().tcp().listen(port, [this](std::shared_ptr<TcpConnection> conn) {
     auto session = std::make_shared<Session>();
     conn->on_data([this, conn, session](const std::vector<std::uint8_t>& d) {
       session->buffer.append(d.begin(), d.end());
+      m_rx_bytes_->inc(d.size());
       on_data(conn, session);
     });
   });
+}
+
+void DeployServer::reject(std::shared_ptr<TcpConnection> conn,
+                          const std::string& reason) {
+  ++rejections_;
+  m_rejections_->inc();
+  conn->send("ERR " + reason + "\n");
+  conn->close();
 }
 
 void DeployServer::on_data(std::shared_ptr<TcpConnection> conn,
@@ -28,9 +43,14 @@ void DeployServer::on_data(std::shared_ptr<TcpConnection> conn,
     std::size_t len = 0;
     in >> cmd >> engine >> auth >> len;
     s->buffer.erase(0, eol + 1);
-    if (cmd != "DEPLOY" || in.fail()) {
-      conn->send("ERR malformed header\n");
-      conn->close();
+    if (cmd.rfind("DEPLOY", 0) != 0 || in.fail()) {
+      reject(conn, "malformed header");
+      return;
+    }
+    if (cmd != kDeployHeaderTag) {
+      // A DEPLOY header speaking another (or no) version: refuse loudly
+      // rather than guessing at its framing.
+      reject(conn, std::string("bad-version expected ") + kDeployHeaderTag);
       return;
     }
     s->engine = engine == "interp"     ? planp::EngineKind::kInterp
@@ -52,29 +72,51 @@ void DeployServer::finish(std::shared_ptr<TcpConnection> conn, const Session& s)
   try {
     planp::Protocol& proto = runtime_.install(s.buffer.substr(0, s.expect), opts);
     ++deployments_;
+    m_deployments_->inc();
     double codegen_us = 0;
     if (const planp::CodegenStats* cs = runtime_.protocol().codegen_stats()) {
       codegen_us = cs->generation_ms * 1000.0;
     }
     conn->send("OK " + std::to_string(proto.checked().channels.size()) + " " +
                std::to_string(codegen_us) + "\n");
+    conn->close();
   } catch (const planp::VerificationError& e) {
-    ++rejections_;
-    conn->send(std::string("ERR verification: ") + e.what() + "\n");
+    reject(conn, std::string("verification: ") + e.what());
   } catch (const planp::PlanPError& e) {
-    ++rejections_;
-    conn->send(std::string("ERR ") + e.what() + "\n");
+    reject(conn, e.what());
   }
-  conn->close();
+}
+
+DeployResult DeployResult::from_reply(const std::string& line) {
+  DeployResult r;
+  if (line.rfind("OK", 0) == 0) {
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag >> r.channels >> r.codegen_us;
+    if (in.fail()) {
+      r.channels = 0;
+      r.codegen_us = 0;
+      r.error = "unparseable reply: " + line;
+      return r;
+    }
+    r.ok = true;
+    return r;
+  }
+  if (line.rfind("ERR ", 0) == 0) {
+    r.error = line.substr(4);
+    return r;
+  }
+  r.error = line.empty() ? "empty reply" : "unparseable reply: " + line;
+  return r;
 }
 
 void Deployer::deploy(asp::net::Ipv4Addr target, const std::string& source,
-                      Callback cb, const Options& opts) {
+                      Callback cb, Options opts) {
   auto conn = node_.tcp().connect(target, opts.port);
   const char* engine = opts.engine == planp::EngineKind::kInterp     ? "interp"
                        : opts.engine == planp::EngineKind::kBytecode ? "bytecode"
                                                                      : "jit";
-  std::string message = std::string("DEPLOY ") + engine + " " +
+  std::string message = std::string(kDeployHeaderTag) + " " + engine + " " +
                         (opts.authenticated ? "1" : "0") + " " +
                         std::to_string(source.size()) + "\n" + source;
   auto reply = std::make_shared<std::string>();
@@ -87,16 +129,15 @@ void Deployer::deploy(asp::net::Ipv4Addr target, const std::string& source,
     auto eol = reply->find('\n');
     if (eol != std::string::npos && !*done) {
       *done = true;
-      DeployResult result;
-      result.message = reply->substr(0, eol);
-      result.ok = result.message.rfind("OK", 0) == 0;
-      (*callback)(result);
+      (*callback)(DeployResult::from_reply(reply->substr(0, eol)));
     }
   });
   conn->on_closed([done, callback] {
     if (!*done) {
       *done = true;
-      (*callback)(DeployResult{false, "connection closed"});
+      DeployResult dead;
+      dead.error = "connection closed";
+      (*callback)(dead);
     }
   });
 }

@@ -6,10 +6,12 @@
 // verification gate — and reports the outcome. Unverifiable protocols need
 // the authenticated flag (paper §2.1's provision for privileged users).
 //
-// Wire format (client -> server):
-//   "DEPLOY <engine> <auth> <source-bytes>\n" followed by the source text.
+// Wire format, version 1 (client -> server):
+//   "DEPLOY/1 <engine> <auth> <source-bytes>\n" followed by the source text.
 // Reply:
 //   "OK <channels> <codegen-us>\n"  or  "ERR <reason>\n".
+// A header carrying any other version token draws "ERR bad-version expected
+// DEPLOY/1" so old/new stations fail loudly instead of misparsing.
 #pragma once
 
 #include <functional>
@@ -22,6 +24,9 @@
 namespace asp::runtime {
 
 inline constexpr std::uint16_t kDeployPort = 9199;
+
+/// The wire header tag this build speaks (protocol version 1).
+inline constexpr const char* kDeployHeaderTag = "DEPLOY/1";
 
 /// Per-node deployment daemon. Owns nothing but the listener; installs into
 /// the node's AspRuntime.
@@ -44,16 +49,39 @@ class DeployServer {
   void on_data(std::shared_ptr<asp::net::TcpConnection> conn,
                std::shared_ptr<Session> s);
   void finish(std::shared_ptr<asp::net::TcpConnection> conn, const Session& s);
+  void reject(std::shared_ptr<asp::net::TcpConnection> conn,
+              const std::string& reason);
 
   AspRuntime& runtime_;
   int deployments_ = 0;
   int rejections_ = 0;
+  // Instruments in the global registry (node/<name>/deploy/*).
+  obs::Counter* m_deployments_ = nullptr;
+  obs::Counter* m_rejections_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
 };
 
-/// Result of one deployment attempt.
+/// Structured outcome of one deployment attempt, parsed from the wire reply.
 struct DeployResult {
   bool ok = false;
-  std::string message;  // "OK ..." payload or error reason
+  int channels = 0;       // channels the installed protocol declares (on ok)
+  double codegen_us = 0;  // daemon-side specialization time (on ok)
+  std::string error;      // reason when !ok ("bad-version ...", "verification:
+                          // ...", "connection closed", ...); empty on success
+
+  /// Parses one reply line ("OK <channels> <codegen-us>" / "ERR <reason>").
+  /// Anything unparseable yields ok=false with the raw line as the error.
+  static DeployResult from_reply(const std::string& line);
+};
+
+/// Knobs for one deployment push (namespace-scope so it can default-construct
+/// in Deployer::deploy's default argument; spelled Deployer::Options at call
+/// sites).
+struct DeployOptions {
+  planp::EngineKind engine = planp::EngineKind::kJit;
+  /// Authenticated deployments may install gate-rejected protocols.
+  bool authenticated = false;
+  std::uint16_t port = kDeployPort;
 };
 
 /// Management-station side: pushes an ASP to a remote daemon.
@@ -61,22 +89,13 @@ class Deployer {
  public:
   explicit Deployer(asp::net::Node& node) : node_(node) {}
 
-  struct Options {
-    planp::EngineKind engine = planp::EngineKind::kJit;
-    /// Authenticated deployments may install gate-rejected protocols.
-    bool authenticated = false;
-    std::uint16_t port = kDeployPort;
-  };
-
+  using Options = DeployOptions;
   using Callback = std::function<void(const DeployResult&)>;
 
   /// Asynchronously deploys `source` to `target`; `cb` fires when the daemon
   /// replies (or the connection dies).
   void deploy(asp::net::Ipv4Addr target, const std::string& source, Callback cb,
-              const Options& opts);
-  void deploy(asp::net::Ipv4Addr target, const std::string& source, Callback cb) {
-    deploy(target, source, std::move(cb), Options{});
-  }
+              Options opts = Options());
 
  private:
   asp::net::Node& node_;

@@ -1,10 +1,31 @@
 #include "runtime/engine.hpp"
 
+#include <chrono>
+
 namespace asp::runtime {
 
 using planp::Value;
 
-AspRuntime::AspRuntime(asp::net::Node& node) : node_(node) {}
+AspRuntime::AspRuntime(asp::net::Node& node) : node_(node) {
+  obs::MetricsRegistry& reg = obs::registry();
+  metric_prefix_ = "node/" + node.name() + "/asp/";
+  m_handled_ = &reg.counter(metric_prefix_ + "packets_handled");
+  m_passed_ = &reg.counter(metric_prefix_ + "packets_passed");
+  m_sent_ = &reg.counter(metric_prefix_ + "packets_sent");
+  m_dropped_ = &reg.counter(metric_prefix_ + "packets_dropped");
+  m_errors_ = &reg.counter(metric_prefix_ + "runtime_errors");
+  m_handle_us_ = &reg.histogram(metric_prefix_ + "handle_us");
+  base_ = RuntimeStats{m_handled_->value(), m_passed_->value(), m_sent_->value(),
+                       m_dropped_->value(), m_errors_->value()};
+}
+
+RuntimeStats AspRuntime::stats() const {
+  return RuntimeStats{m_handled_->value() - base_.packets_handled,
+                      m_passed_->value() - base_.packets_passed,
+                      m_sent_->value() - base_.packets_sent,
+                      m_dropped_->value() - base_.packets_dropped,
+                      m_errors_->value() - base_.runtime_errors};
+}
 
 AspRuntime::~AspRuntime() {
   if (proto_ != nullptr) uninstall();
@@ -35,6 +56,13 @@ planp::Protocol& AspRuntime::install(const std::string& source,
   channel_states_.reserve(channels.size());
   for (std::size_t i = 0; i < channels.size(); ++i) {
     channel_states_.push_back(proto_->engine().init_state(static_cast<int>(i)));
+  }
+  // Per-channel dispatch counters (overloads sharing a name share a counter).
+  channel_counters_.clear();
+  channel_counters_.reserve(channels.size());
+  for (const auto& c : channels) {
+    channel_counters_.push_back(
+        &obs::registry().counter(metric_prefix_ + "channel/" + c->name + "/handled"));
   }
 
   node_.set_ip_hook([this](asp::net::Packet& p, asp::net::Interface& in) {
@@ -76,6 +104,7 @@ bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
     }
     std::optional<Value> decoded = decode_packet(p, c.packet_type);
     if (!decoded) continue;
+    auto t0 = std::chrono::steady_clock::now();
     try {
       Value out = proto->engine().run_channel(static_cast<int>(i), protocol_state_,
                                               channel_states_[i], *decoded);
@@ -84,21 +113,27 @@ bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
         protocol_state_ = pair[0];
         channel_states_[i] = pair[1];
       }
-      ++handled_;
+      m_handled_->inc();
+      if (i < channel_counters_.size()) channel_counters_[i]->inc();
       taken = true;
     } catch (const planp::PlanPException& e) {
       // An exception escaping a channel aborts that packet's processing; the
       // packet is consumed (the protocol claimed it) but states are kept.
-      ++errors_;
+      m_errors_->inc();
       log_ += "[runtime] unhandled exception '" + e.name + "' in channel '" +
               c.name + "'\n";
       taken = true;
     }
+    // Wall-clock handler cost (the engine runs in zero sim-time): this is
+    // where interp vs bytecode vs JIT shows up per packet.
+    m_handle_us_->observe(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
   }
   current_in_ = nullptr;
   --dispatch_depth_;
   if (dispatch_depth_ == 0) retired_.clear();
-  if (!taken) ++passed_;
+  if (!taken) m_passed_->inc();
   return taken;
 }
 
@@ -128,11 +163,11 @@ void AspRuntime::on_remote(const std::string& channel, const Value& packet) {
   p.id = node_.next_packet_id();
   // Defense in depth: even verified protocols respect TTL.
   if (p.ip.ttl <= 1) {
-    ++drops_;
+    m_dropped_->inc();
     return;
   }
   --p.ip.ttl;
-  ++sent_;
+  m_sent_->inc();
   if (node_.owns(p.ip.dst)) {
     node_.deliver_local(std::move(p));
     return;
@@ -143,7 +178,7 @@ void AspRuntime::on_remote(const std::string& channel, const Value& packet) {
 void AspRuntime::on_neighbor(const std::string& channel, const Value& packet) {
   asp::net::Packet p = encode_packet(packet, channel == "network" ? "" : channel);
   p.id = node_.next_packet_id();
-  ++sent_;
+  m_sent_->inc();
   // L2 semantics: emit on every attached segment except the one the packet
   // arrived on (a locally generated packet floods all interfaces). This is
   // what lets an ASP implement a learning Ethernet bridge.

@@ -13,10 +13,24 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "planp/program.hpp"
 #include "runtime/netapi.hpp"
 
 namespace asp::runtime {
+
+/// One coherent snapshot of a runtime's dispatch statistics, counted since
+/// that AspRuntime was constructed. Returned by AspRuntime::stats(); the
+/// live values are carried by the global metrics registry under
+/// node/<name>/asp/* (which accumulates process-wide — the snapshot is the
+/// per-instance delta).
+struct RuntimeStats {
+  std::uint64_t packets_handled = 0;  // consumed by a channel
+  std::uint64_t packets_passed = 0;   // fell through to standard IP
+  std::uint64_t packets_sent = 0;     // emitted via OnRemote/OnNeighbor
+  std::uint64_t packets_dropped = 0;  // explicit drop() or TTL exhaustion
+  std::uint64_t runtime_errors = 0;   // exceptions escaping a channel
+};
 
 class AspRuntime : public planp::EnvApi {
  public:
@@ -51,10 +65,10 @@ class AspRuntime : public planp::EnvApi {
   bool inject(asp::net::Packet p);
 
   // --- statistics -------------------------------------------------------------
-  std::uint64_t packets_handled() const { return handled_; }
-  std::uint64_t packets_passed() const { return passed_; }
-  std::uint64_t packets_sent() const { return sent_; }
-  std::uint64_t runtime_errors() const { return errors_; }
+  /// Dispatch counters since construction, as one coherent snapshot. The same
+  /// figures (plus per-channel dispatch counts and the packet handling-latency
+  /// histogram node/<name>/asp/handle_us) live in obs::registry().
+  RuntimeStats stats() const;
   const std::string& log() const { return log_; }
   void clear_log() { log_.clear(); }
 
@@ -72,7 +86,7 @@ class AspRuntime : public planp::EnvApi {
   void on_remote(const std::string& channel, const planp::Value& packet) override;
   void on_neighbor(const std::string& channel, const planp::Value& packet) override;
   void deliver(const planp::Value& packet) override;
-  void drop() override { ++drops_; }
+  void drop() override { m_dropped_->inc(); }
 
  private:
   static planp::Protocol::Options make_default_options() {
@@ -96,11 +110,18 @@ class AspRuntime : public planp::EnvApi {
   asp::net::Medium* monitored_ = nullptr;
   asp::net::Interface* current_in_ = nullptr;  // arrival interface during dispatch
 
-  std::uint64_t handled_ = 0;
-  std::uint64_t passed_ = 0;
-  std::uint64_t sent_ = 0;
-  std::uint64_t drops_ = 0;
-  std::uint64_t errors_ = 0;
+  // Instruments in the global registry (node/<name>/asp/*), cached at
+  // construction; stats() subtracts base_ so snapshots are per-instance even
+  // though the registry accumulates across runtimes sharing a node name.
+  std::string metric_prefix_;
+  obs::Counter* m_handled_ = nullptr;
+  obs::Counter* m_passed_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+  obs::Histogram* m_handle_us_ = nullptr;
+  std::vector<obs::Counter*> channel_counters_;  // aligned with channels
+  RuntimeStats base_;
   std::string log_;
 };
 

@@ -78,8 +78,8 @@ TEST(AudioTwoTier, OnlyTheLoadedSegmentIsDegraded) {
   EXPECT_GT(fast.frames_received(), 700u);
   EXPECT_GT(slow.frames_received(), 700u);
   // Both play the same stream; both ASPs were active.
-  EXPECT_GT(rt1.packets_handled(), 0u);
-  EXPECT_GT(rt2.packets_handled(), 0u);
+  EXPECT_GT(rt1.stats().packets_handled, 0u);
+  EXPECT_GT(rt2.stats().packets_handled, 0u);
   // The wire rates differ by the expected factor (~190 vs ~58 kb/s).
   EXPECT_NEAR(fast.wire_rate_bps() / 1000.0, 190, 15);
   EXPECT_NEAR(slow.wire_rate_bps() / 1000.0, 58, 15);

@@ -85,24 +85,24 @@ TEST(Bridge, LearnsAndFiltersSameSegmentTraffic) {
   src_a2.send_to(rig.b1->addr(), 9, asp::net::bytes_of("hello"));
   rig.net.run_until(rig.net.now() + asp::net::seconds(1));
 
-  std::uint64_t sent_before = rig.rt->packets_sent();
+  std::uint64_t sent_before = rig.rt->stats().packets_sent;
   // a1 -> a2 is same-segment: the segment delivers it directly, and the
   // learned bridge must NOT re-emit it onto segment B.
   int got = rig.count_at(*rig.a2, 7, [&] {
     src_a1.send_to(rig.a2->addr(), 7, asp::net::bytes_of("local"));
   });
   EXPECT_EQ(got, 1);                               // direct segment delivery
-  EXPECT_EQ(rig.rt->packets_sent(), sent_before);  // bridge stayed silent
+  EXPECT_EQ(rig.rt->stats().packets_sent, sent_before);  // bridge stayed silent
 }
 
 TEST(Bridge, UnknownDestinationIsFlooded) {
   BridgeRig rig;
   UdpSocket src(*rig.a1, 9999, nullptr);
-  std::uint64_t sent_before = rig.rt->packets_sent();
+  std::uint64_t sent_before = rig.rt->stats().packets_sent;
   // 10.0.0.99 does not exist: the bridge has never seen it, so it floods.
   src.send_to(ip("10.0.0.99"), 7, asp::net::bytes_of("who?"));
   rig.net.run_until(rig.net.now() + asp::net::seconds(1));
-  EXPECT_EQ(rig.rt->packets_sent(), sent_before + 1);
+  EXPECT_EQ(rig.rt->stats().packets_sent, sent_before + 1);
 }
 
 TEST(Bridge, BidirectionalConversation) {

@@ -94,6 +94,71 @@ TEST(PacketTracer, TracesTcpHandshake) {
   EXPECT_NE(dump.find("] b"), std::string::npos);
 }
 
+TEST(RxTaps, TracerAndProbeCoexist) {
+  // Regression: attach() used to take over the node's single rx tap, so a
+  // tracer silently disabled any metrics probe (and vice versa). Taps are now
+  // a multicast list.
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.0.1"), b, ip("10.0.0.2"), 10e6, millis(1));
+
+  int probed = 0;
+  b.add_rx_tap([&](const Packet&, const Interface&) { ++probed; });
+  PacketTracer tracer;
+  tracer.attach(b);  // must not displace the probe
+
+  UdpSocket sink(b, 7, nullptr);
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("one"));
+  src.send_to(b.addr(), 7, bytes_of("two"));
+  net.run();
+
+  EXPECT_EQ(probed, 2);
+  EXPECT_EQ(tracer.events().size(), 2u);
+}
+
+TEST(RxTaps, TwoTracersBothRecord) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.0.1"), b, ip("10.0.0.2"), 10e6, millis(1));
+
+  PacketTracer first, second;
+  first.attach(b);
+  second.attach(b);
+
+  UdpSocket sink(b, 7, nullptr);
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+
+  EXPECT_EQ(first.events().size(), 1u);
+  EXPECT_EQ(second.events().size(), 1u);
+}
+
+TEST(RxTaps, DeprecatedSetterClearsThenAdds) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.0.1"), b, ip("10.0.0.2"), 10e6, millis(1));
+
+  int old_tap = 0, new_tap = 0;
+  b.add_rx_tap([&](const Packet&, const Interface&) { ++old_tap; });
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  b.set_rx_tap([&](const Packet&, const Interface&) { ++new_tap; });
+#pragma GCC diagnostic pop
+
+  UdpSocket sink(b, 7, nullptr);
+  UdpSocket src(a, 9999, nullptr);
+  src.send_to(b.addr(), 7, bytes_of("x"));
+  net.run();
+
+  EXPECT_EQ(old_tap, 0);  // the shim keeps its replace-everything contract
+  EXPECT_EQ(new_tap, 1);
+}
+
 TEST(PacketTracer, CapacityBoundIsEnforced) {
   PacketTracer tracer(100);
   Packet p = Packet::make_raw(ip("1.1.1.1"), ip("2.2.2.2"), {});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace asp::runtime {
 namespace {
@@ -53,11 +54,14 @@ const char* kGoodAsp =
 TEST(Deploy, InstallsVerifiedProtocolRemotely) {
   DeployRig rig;
   DeployResult r = rig.deploy(kGoodAsp);
-  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.ok) << r.error;
   EXPECT_TRUE(rig.rt->installed());
   EXPECT_EQ(rig.server->deployments(), 1);
-  // The reply reports channel count and codegen time.
-  EXPECT_EQ(r.message.rfind("OK 1 ", 0), 0u) << r.message;
+  // The reply parses into structured fields: channel count, codegen time, no
+  // error text.
+  EXPECT_EQ(r.channels, 1);
+  EXPECT_GT(r.codegen_us, 0.0);
+  EXPECT_TRUE(r.error.empty()) << r.error;
 }
 
 TEST(Deploy, DeployedProtocolActuallyRuns) {
@@ -73,14 +77,15 @@ TEST(Deploy, DeployedProtocolActuallyRuns) {
   src.send_to(far.addr(), 7, asp::net::bytes_of("x"));
   rig.net.run_until(rig.net.now() + seconds(1));
   EXPECT_EQ(got, 1);
-  EXPECT_GT(rig.rt->packets_handled(), 0u);
+  EXPECT_GT(rig.rt->stats().packets_handled, 0u);
 }
 
 TEST(Deploy, SyntaxErrorIsReportedNotInstalled) {
   DeployRig rig;
   DeployResult r = rig.deploy("channel oops(");
   EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.message.find("ERR"), std::string::npos);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(r.channels, 0);
   EXPECT_FALSE(rig.rt->installed());
   EXPECT_EQ(rig.server->rejections(), 1);
 }
@@ -96,13 +101,13 @@ channel network(ps : unit, ss : unit, p : ip*udp*blob) is
 )";
   DeployResult r = rig.deploy(ping_pong);
   EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.message.find("verification"), std::string::npos);
+  EXPECT_NE(r.error.find("verification"), std::string::npos);
 
   // The paper's escape hatch: authenticated users may deploy it anyway.
   Deployer::Options opts;
   opts.authenticated = true;
   DeployResult r2 = rig.deploy(ping_pong, opts);
-  EXPECT_TRUE(r2.ok) << r2.message;
+  EXPECT_TRUE(r2.ok) << r2.error;
   EXPECT_TRUE(rig.rt->installed());
 }
 
@@ -130,6 +135,69 @@ TEST(Deploy, EngineSelectionIsHonoured) {
   opts.engine = planp::EngineKind::kInterp;
   ASSERT_TRUE(rig.deploy(kGoodAsp, opts).ok);
   EXPECT_STREQ(rig.rt->protocol().engine().engine_name(), "interp");
+}
+
+TEST(Deploy, WrongWireVersionIsRefused) {
+  DeployRig rig;
+  // Speak a future protocol version at the daemon by hand: it must answer
+  // with a clear bad-version error, not try to parse the body.
+  std::string reply;
+  auto conn = rig.admin->tcp().connect(rig.router->addr(), kDeployPort);
+  conn->on_established([&] { conn->send(std::string("DEPLOY/9 jit 0 3\nfoo")); });
+  conn->on_data([&](const std::vector<std::uint8_t>& d) {
+    reply.append(d.begin(), d.end());
+  });
+  rig.net.run_until(rig.net.now() + seconds(2));
+  EXPECT_EQ(reply.rfind("ERR bad-version", 0), 0u) << reply;
+  EXPECT_FALSE(rig.rt->installed());
+  EXPECT_EQ(rig.server->rejections(), 1);
+  // The structured parser classifies it as a failure with the reason text.
+  DeployResult parsed = DeployResult::from_reply(reply.substr(0, reply.find('\n')));
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("bad-version"), std::string::npos);
+}
+
+TEST(Deploy, UnversionedLegacyHeaderIsRefused) {
+  DeployRig rig;
+  std::string reply;
+  auto conn = rig.admin->tcp().connect(rig.router->addr(), kDeployPort);
+  conn->on_established([&] { conn->send(std::string("DEPLOY jit 0 3\nfoo")); });
+  conn->on_data([&](const std::vector<std::uint8_t>& d) {
+    reply.append(d.begin(), d.end());
+  });
+  rig.net.run_until(rig.net.now() + seconds(2));
+  EXPECT_EQ(reply.rfind("ERR bad-version", 0), 0u) << reply;
+  EXPECT_FALSE(rig.rt->installed());
+}
+
+TEST(Deploy, ReplyParserHandlesAllShapes) {
+  DeployResult ok = DeployResult::from_reply("OK 3 412.5");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.channels, 3);
+  EXPECT_DOUBLE_EQ(ok.codegen_us, 412.5);
+  EXPECT_TRUE(ok.error.empty());
+
+  DeployResult err = DeployResult::from_reply("ERR verification: boom");
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "verification: boom");
+
+  DeployResult garbage = DeployResult::from_reply("HELLO");
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_NE(garbage.error.find("unparseable"), std::string::npos);
+
+  DeployResult truncated = DeployResult::from_reply("OK");
+  EXPECT_FALSE(truncated.ok);
+  EXPECT_EQ(truncated.channels, 0);
+}
+
+TEST(Deploy, ServerMetricsReachRegistry) {
+  // The daemon reports into node/<name>/deploy/*; deltas across one
+  // deployment must line up with the scalar accessors.
+  obs::Counter& dep = obs::registry().counter("node/router/deploy/deployments");
+  std::uint64_t before = dep.value();
+  DeployRig rig;
+  ASSERT_TRUE(rig.deploy(kGoodAsp).ok);
+  EXPECT_EQ(dep.value(), before + 1);
 }
 
 }  // namespace

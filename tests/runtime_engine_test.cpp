@@ -32,8 +32,8 @@ TEST(AspRuntime, PassThroughWhenNothingMatches) {
   net.run();
   // The TCP-only protocol ignores UDP: default IP behaviour delivers it.
   EXPECT_EQ(got, 1);
-  EXPECT_EQ(rt.packets_passed(), 1u);
-  EXPECT_EQ(rt.packets_handled(), 0u);
+  EXPECT_EQ(rt.stats().packets_passed, 1u);
+  EXPECT_EQ(rt.stats().packets_handled, 0u);
 }
 
 TEST(AspRuntime, ChannelConsumesAndRedirects) {
@@ -71,7 +71,7 @@ channel network(ps : unit, ss : unit, p : ip*tcp*blob) is
   // For this unit test just verify raw TCP SYN redirection happened.
   auto c = a.tcp().connect(ip("10.0.2.1"), 80);
   net.run_until(seconds(1));
-  EXPECT_GT(rt.packets_handled(), 0u);
+  EXPECT_GT(rt.stats().packets_handled, 0u);
   // b2 received the SYN (a connection attempt was registered there).
   EXPECT_GE(b2.tcp().open_connections(), 1u);
   EXPECT_EQ(b1.tcp().open_connections(), 0u);
@@ -93,7 +93,7 @@ channel network(ps : int, ss : int, p : ip*udp*blob) initstate 0 is
   for (int i = 0; i < 3; ++i) src.send_to(b.addr(), 7, asp::net::bytes_of("x"));
   net.run();
   EXPECT_EQ(rt.log(), "0\n1\n2\n");
-  EXPECT_EQ(rt.packets_handled(), 3u);
+  EXPECT_EQ(rt.stats().packets_handled, 3u);
 }
 
 TEST(AspRuntime, SharedProtocolStateAcrossOverloads) {
@@ -181,7 +181,7 @@ TEST(AspRuntime, UnhandledChannelExceptionConsumesPacketAndLogs) {
   src.send_to(b.addr(), 7, asp::net::bytes_of("x"));
   net.run();
   EXPECT_EQ(got, 0);
-  EXPECT_EQ(rt.runtime_errors(), 1u);
+  EXPECT_EQ(rt.stats().runtime_errors, 1u);
   EXPECT_NE(rt.log().find("Boom"), std::string::npos);
 }
 
@@ -243,7 +243,7 @@ channel network(ps : unit, ss : unit, p : ip*udp*blob) is
   src.send_to(b.addr(), 7, asp::net::bytes_of("x"));
   net.run_until(seconds(10));
   EXPECT_TRUE(net.events().empty());  // the storm died out
-  EXPECT_LE(rt_a.packets_sent() + rt_b.packets_sent(), 70u);  // bounded by TTL
+  EXPECT_LE(rt_a.stats().packets_sent + rt_b.stats().packets_sent, 70u);  // bounded by TTL
 }
 
 TEST(AspRuntime, UninstallRestoresDefaultBehaviour) {
@@ -290,6 +290,36 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
     net.run();
     EXPECT_EQ(rt.log(), "0\n2\n4\n") << "engine " << static_cast<int>(kind);
   }
+}
+
+TEST(AspRuntime, MetricsReachGlobalRegistry) {
+  // stats() reports per-instance deltas, but the same numbers accumulate in
+  // the process-wide registry under node/<name>/asp/* (plus per-channel
+  // dispatch counts and a handling-latency histogram).
+  obs::MetricsRegistry& reg = obs::registry();
+  std::uint64_t handled0 = reg.counter("node/mreg/asp/packets_handled").value();
+  std::uint64_t chan0 =
+      reg.counter("node/mreg/asp/channel/network/handled").value();
+  std::uint64_t lat0 = reg.histogram("node/mreg/asp/handle_us").count();
+
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("mreg");
+  net.link(a, ip("10.0.0.1"), b, ip("10.0.0.2"), 10e6, millis(1));
+
+  AspRuntime rt(b);
+  rt.install("channel network(ps : unit, ss : unit, p : ip*udp*blob) is "
+             "(deliver(p); (ps, ss))");
+  UdpSocket sock(b, 7, [](const Packet&) {});
+  UdpSocket src(a, 9999, nullptr);
+  for (int i = 0; i < 3; ++i) src.send_to(b.addr(), 7, asp::net::bytes_of("x"));
+  net.run();
+
+  EXPECT_EQ(rt.stats().packets_handled, 3u);
+  EXPECT_EQ(reg.counter("node/mreg/asp/packets_handled").value(), handled0 + 3);
+  EXPECT_EQ(reg.counter("node/mreg/asp/channel/network/handled").value(),
+            chan0 + 3);
+  EXPECT_EQ(reg.histogram("node/mreg/asp/handle_us").count(), lat0 + 3);
 }
 
 }  // namespace
