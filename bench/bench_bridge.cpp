@@ -76,7 +76,7 @@ void BM_Bridge_BuiltinC(benchmark::State& state) {
     net::Packet p;
     p.ip.src = net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(1 + i % 8));
     p.ip.dst = net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(11 + i % 8));
-    p.payload.resize(256);
+    p.payload = std::vector<std::uint8_t>(256, 0);
     frames.push_back(std::move(p));
   }
   int i = 0;

@@ -114,7 +114,7 @@ void BM_Gateway_BuiltinC(benchmark::State& state) {
                            static_cast<std::uint8_t>(
                                i % 8 == 0 ? net::tcpflag::kSyn : net::tcpflag::kAck),
                            0};
-    p.payload.resize(64);
+    p.payload = std::vector<std::uint8_t>(64, 0);
     packets.push_back(std::move(p));
   }
   int i = 0;

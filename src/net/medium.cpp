@@ -4,9 +4,14 @@
 
 namespace asp::net {
 
-void Interface::transmit(Packet p) {
+void Interface::transmit(Packet&& p) {
   if (medium_ == nullptr) return;  // unplugged
   medium_->transmit(*this, std::move(p));
+}
+
+void Interface::transmit(const Packet& p) {
+  if (medium_ == nullptr) return;
+  medium_->transmit(*this, p);
 }
 
 void Interface::note_tx(SimTime now, std::size_t bytes) {
@@ -67,23 +72,34 @@ void EthernetSegment::transmit(Interface& from, Packet p) {
   SimTime arrival = busy_until_ + delay_;
   const Interface* sender = &from;
   events_.schedule_at(arrival, [this, sender, p = std::move(p)]() mutable {
-    deliver(*sender, p);
+    deliver(*sender, std::move(p));
   });
 }
 
-void EthernetSegment::deliver(const Interface& from, const Packet& p) {
-  auto hand_to = [&](Interface* iface) {
+void EthernetSegment::deliver(const Interface& from, Packet&& p) {
+  // Fan-out discipline: every receiver but the last gets a COW copy (aliasing
+  // the one payload buffer); the final receiver gets the packet moved in.
+  auto hand_copy = [&](Interface* iface) {
     ++delivered_packets_;
     delivered_bytes_ += p.wire_size();
     iface->node()->receive(p, *iface);
+  };
+  auto hand_last = [&](Interface* iface) {
+    ++delivered_packets_;
+    delivered_bytes_ += p.wire_size();
+    iface->node()->receive(std::move(p), *iface);
   };
 
   if (p.ip.dst.is_multicast()) {
     // Broadcast semantics: every other station sees the frame; the node
     // decides whether it cares (group membership / router / promiscuous).
+    Interface* last = nullptr;
     for (Interface* iface : ifaces_) {
-      if (iface != &from) hand_to(iface);
+      if (iface == &from) continue;
+      if (last != nullptr) hand_copy(last);
+      last = iface;
     }
+    if (last != nullptr) hand_last(last);
     return;
   }
 
@@ -106,10 +122,10 @@ void EthernetSegment::deliver(const Interface& from, const Packet& p) {
   }
   // Promiscuous listeners see every frame regardless of addressing.
   for (Interface* iface : ifaces_) {
-    if (iface != &from && iface != target && iface->promiscuous()) hand_to(iface);
+    if (iface != &from && iface != target && iface->promiscuous()) hand_copy(iface);
   }
   if (target != nullptr) {
-    hand_to(target);
+    hand_last(target);
   } else {
     ++dropped_packets_;
   }

@@ -39,8 +39,12 @@ class Interface {
   bool gateway() const { return gateway_; }
   void set_gateway(bool g) { gateway_ = g; }
 
-  /// Hands a packet to the attached medium for transmission.
-  void transmit(Packet p);
+  /// Hands a packet to the attached medium for transmission. The rvalue
+  /// overload moves the packet through (call sites on the forwarding path all
+  /// pass rvalues); the lvalue overload copies — cheaply, since the payload
+  /// is copy-on-write.
+  void transmit(Packet&& p);
+  void transmit(const Packet& p);
 
   /// Egress bandwidth accounting (bytes handed to the medium, pre-drop).
   BandwidthMeter& tx_meter() { return tx_meter_; }
@@ -163,7 +167,7 @@ class EthernetSegment : public Medium {
   const std::vector<Interface*>& interfaces() const { return ifaces_; }
 
  private:
-  void deliver(const Interface& from, const Packet& p);
+  void deliver(const Interface& from, Packet&& p);
 
   std::vector<Interface*> ifaces_;
   SimTime busy_until_ = 0;  // shared medium

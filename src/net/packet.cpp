@@ -1,9 +1,57 @@
 #include "net/packet.hpp"
 
+#include <unordered_map>
+
 namespace asp::net {
 
+Buffer make_buffer(std::vector<std::uint8_t> bytes) {
+  // Allocated non-const (the Buffer alias adds the const): Payload::mutate()
+  // may cast it away again once it proves the buffer is unshared.
+  return std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+const Buffer& Payload::empty_buffer() {
+  static const Buffer empty = make_buffer({});
+  return empty;
+}
+
+std::vector<std::uint8_t>& Payload::mutate() {
+  // use_count covers both other Payloads and blob Values aliasing the bytes;
+  // the shared empty buffer always has extra refs, so it is never written.
+  if (buf_.use_count() != 1) buf_ = make_buffer(*buf_);
+  return const_cast<std::vector<std::uint8_t>&>(*buf_);
+}
+
+namespace {
+
+struct TagTable {
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::string> names{""};  // id 0 = untagged
+};
+
+TagTable& tag_table() {
+  static TagTable t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t ChannelTags::intern(const std::string& name) {
+  if (name.empty()) return 0;
+  TagTable& t = tag_table();
+  auto [it, inserted] = t.ids.try_emplace(name, static_cast<std::uint32_t>(t.names.size()));
+  if (inserted) t.names.push_back(name);
+  return it->second;
+}
+
+const std::string& ChannelTags::name_of(std::uint32_t id) {
+  TagTable& t = tag_table();
+  if (id >= t.names.size()) return t.names[0];
+  return t.names[id];
+}
+
 Packet Packet::make_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
-                        std::uint16_t dport, std::vector<std::uint8_t> payload) {
+                        std::uint16_t dport, Payload payload) {
   Packet p;
   p.ip.src = src;
   p.ip.dst = dst;
@@ -14,7 +62,7 @@ Packet Packet::make_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
 }
 
 Packet Packet::make_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& hdr,
-                        std::vector<std::uint8_t> payload) {
+                        Payload payload) {
   Packet p;
   p.ip.src = src;
   p.ip.dst = dst;
@@ -24,7 +72,7 @@ Packet Packet::make_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& hdr,
   return p;
 }
 
-Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, std::vector<std::uint8_t> payload) {
+Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload) {
   Packet p;
   p.ip.src = src;
   p.ip.dst = dst;
@@ -40,5 +88,7 @@ std::vector<std::uint8_t> bytes_of(const std::string& s) {
 std::string string_of(const std::vector<std::uint8_t>& b) {
   return {b.begin(), b.end()};
 }
+
+std::string string_of(const Payload& p) { return string_of(p.bytes()); }
 
 }  // namespace asp::net

@@ -3,9 +3,18 @@
 // PLAN-P channels pattern-match on the header stack (e.g. a channel over
 // `ip*tcp*blob` sees every TCP packet), so the packet keeps its headers as
 // structured fields rather than raw bytes.
+//
+// Payloads are copy-on-write: the bytes live in a shared immutable buffer
+// (the same rep as a PLAN-P blob), so fan-out on a broadcast segment, TCP
+// segmentation and packet->value decoding all alias one allocation. Mutation
+// goes through Packet::mutable_payload(), which clones only when the buffer
+// is shared — the zero-copy discipline of production proxies (cf. ATS's
+// IOBuffer chains).
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +22,71 @@
 #include "net/addr.hpp"
 
 namespace asp::net {
+
+/// Shared immutable byte buffer: the payload rep, aliasable with planp::Blob.
+using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Wraps bytes in a Buffer. All buffers in the system are created through
+/// here (or alias one that was): the pointee is allocated non-const, which is
+/// what makes Payload's clone-on-write const_cast well-defined.
+Buffer make_buffer(std::vector<std::uint8_t> bytes);
+
+/// A copy-on-write byte sequence. Copies alias; `mutate()` clones the bytes
+/// iff the buffer is shared. The read API mirrors the std::vector subset the
+/// packet path uses, so most call sites did not change when Packet::payload
+/// switched from std::vector to Payload.
+class Payload {
+ public:
+  Payload() : buf_(empty_buffer()) {}
+  Payload(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : buf_(bytes.empty() ? empty_buffer() : make_buffer(std::move(bytes))) {}
+  Payload(Buffer b) : buf_(b ? std::move(b) : empty_buffer()) {}  // NOLINT
+  Payload(std::initializer_list<std::uint8_t> bytes)
+      : Payload(std::vector<std::uint8_t>(bytes)) {}
+
+  std::size_t size() const { return buf_->size(); }
+  bool empty() const { return buf_->empty(); }
+  const std::uint8_t* data() const { return buf_->data(); }
+  std::vector<std::uint8_t>::const_iterator begin() const { return buf_->begin(); }
+  std::vector<std::uint8_t>::const_iterator end() const { return buf_->end(); }
+  std::uint8_t operator[](std::size_t i) const { return (*buf_)[i]; }
+
+  /// Read view of the bytes (never null; empty payloads share one buffer).
+  const std::vector<std::uint8_t>& bytes() const { return *buf_; }
+
+  /// The refcounted buffer itself, for aliasing into a PLAN-P blob Value or
+  /// another packet without copying.
+  const Buffer& buffer() const { return buf_; }
+
+  /// Clone-on-write access: returns the bytes as a mutable vector, cloning
+  /// them first iff the buffer is shared with another Payload/blob.
+  std::vector<std::uint8_t>& mutate();
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.buf_ == b.buf_ || *a.buf_ == *b.buf_;
+  }
+  friend bool operator==(const Payload& a, const std::vector<std::uint8_t>& b) {
+    return *a.buf_ == b;
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a, const Payload& b) {
+    return a == *b.buf_;
+  }
+
+ private:
+  static const Buffer& empty_buffer();
+
+  Buffer buf_;
+};
+
+/// Interned channel-tag ids: process-wide, dense, stable small ints standing
+/// in for channel-name strings on the dispatch fast path. 0 means "no tag".
+class ChannelTags {
+ public:
+  /// Id for `name`, interning it on first sight ("" -> 0). O(1) amortized.
+  static std::uint32_t intern(const std::string& name);
+  /// Name for an interned id ("" for 0 or unknown ids).
+  static const std::string& name_of(std::uint32_t id);
+};
 
 /// IP protocol numbers we model.
 enum class IpProto : std::uint8_t { kRaw = 0, kTcp = 6, kUdp = 17 };
@@ -56,17 +130,32 @@ struct UdpHeader {
   static constexpr std::size_t kWireSize = 8;
 };
 
-/// A network packet. Copyable (broadcast media copy it per receiver).
+/// A network packet. Copyable (broadcast media copy it per receiver); copies
+/// alias the payload buffer until one side mutates.
 struct Packet {
   IpHeader ip;
   std::optional<TcpHeader> tcp;
   std::optional<UdpHeader> udp;
-  std::vector<std::uint8_t> payload;
+  Payload payload;
 
   /// PLAN-P user-defined channel tag. Packets sent on a user channel carry the
   /// channel name so the receiving runtime can dispatch them (paper §2: "When
   /// packets are sent on a user-defined channel, the packet is tagged").
   std::string channel;
+
+  /// Interned id of `channel` (0 = untagged). Senders set it via
+  /// set_channel(); the runtime resolves it lazily for packets whose channel
+  /// string was assigned directly.
+  std::uint32_t channel_tag = 0;
+
+  /// Sets the channel tag, keeping name and interned id consistent.
+  void set_channel(const std::string& name) {
+    channel = name;
+    channel_tag = ChannelTags::intern(name);
+  }
+
+  /// Clone-on-write access to the payload bytes.
+  std::vector<std::uint8_t>& mutable_payload() { return payload.mutate(); }
 
   /// Unique id for tracing/debugging; assigned by the sender.
   std::uint64_t id = 0;
@@ -87,15 +176,16 @@ struct Packet {
 
   /// Convenience factories.
   static Packet make_udp(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
-                         std::uint16_t dport, std::vector<std::uint8_t> payload);
+                         std::uint16_t dport, Payload payload);
   static Packet make_tcp(Ipv4Addr src, Ipv4Addr dst, const TcpHeader& hdr,
-                         std::vector<std::uint8_t> payload);
-  static Packet make_raw(Ipv4Addr src, Ipv4Addr dst, std::vector<std::uint8_t> payload);
+                         Payload payload);
+  static Packet make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload);
 };
 
 /// Builds a payload from a string (for control messages).
 std::vector<std::uint8_t> bytes_of(const std::string& s);
 /// Interprets a payload as a string.
 std::string string_of(const std::vector<std::uint8_t>& b);
+std::string string_of(const Payload& p);
 
 }  // namespace asp::net

@@ -220,7 +220,7 @@ void TcpConnection::handle(const Packet& p) {
       bytes_received_ += p.payload.size();
       m_rx_bytes_->inc(p.payload.size());
       emit(tcpflag::kAck, snd_nxt_, {});
-      if (data_cb_) data_cb_(p.payload);
+      if (data_cb_) data_cb_(p.payload.bytes());
     } else {
       // Out of order / duplicate: re-ACK what we expect.
       emit(tcpflag::kAck, snd_nxt_, {});

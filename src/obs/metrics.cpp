@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 namespace asp::obs {
 
@@ -208,6 +210,22 @@ std::string write_bench_json(const std::string& bench_name) {
   }
   std::printf("[obs] metrics snapshot written to %s\n", path.c_str());
   return path;
+}
+
+double record_stabilized_gauge(const std::string& name,
+                               const std::function<double()>& sample,
+                               int warmup, int reps) {
+  for (int i = 0; i < warmup; ++i) sample();
+  if (reps < 1) reps = 1;
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) runs.push_back(sample());
+  std::sort(runs.begin(), runs.end());
+  // Median: middle element, or the mean of the middle pair for even reps.
+  std::size_t mid = runs.size() / 2;
+  double median = runs.size() % 2 == 1 ? runs[mid] : (runs[mid - 1] + runs[mid]) / 2.0;
+  registry().gauge(name).set(median);
+  return median;
 }
 
 }  // namespace asp::obs

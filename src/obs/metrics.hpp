@@ -28,6 +28,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -135,5 +136,14 @@ bool write_json(const MetricsRegistry& reg, const std::string& path);
 /// in the working directory and prints the path. Returns the path ("" on
 /// failure).
 std::string write_bench_json(const std::string& bench_name);
+
+/// Bench-harness hygiene: runs `sample` `warmup` times discarded (cache and
+/// branch-predictor warm-up), then `reps` more times, records the median in
+/// gauge `name` of the default registry, and returns it. Medians over a
+/// handful of repetitions are what the bench exporters should publish —
+/// one-shot readings on a shared machine are noise.
+double record_stabilized_gauge(const std::string& name,
+                               const std::function<double()>& sample,
+                               int warmup = 1, int reps = 5);
 
 }  // namespace asp::obs

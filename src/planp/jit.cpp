@@ -214,6 +214,30 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
   stats_.code_bytes = stats_.output_instrs * sizeof(SInstr);
   if (prog_.source != nullptr) stats_.source_lines = prog_.source->program.source_lines;
 
+  // Direct threading: resolve each template's opcode to its handler address
+  // once, here, so run_block dispatches with a single indirect goto instead
+  // of a bounds-checked switch. Under the fallback build the table is null
+  // and the handlers stay unpatched (the switch ignores them).
+  {
+    const void* const* table = nullptr;
+    Buffers probe;
+    JitBlock empty;
+    run_block(empty, probe, &table);
+    if (table != nullptr) {
+      auto patch = [&](std::vector<JitBlock>& blocks) {
+        for (JitBlock& blk : blocks) {
+          for (SInstr& s : blk.code) {
+            s.handler = table[static_cast<std::size_t>(s.op)];
+          }
+        }
+      };
+      patch(functions_);
+      patch(channel_bodies_);
+      patch(channel_inits_);
+      patch(global_blocks);
+    }
+  }
+
   // Figure 3 in registry form: specialization cost per JIT construction.
   obs::MetricsRegistry& reg = obs::registry();
   reg.histogram("planp/jit/codegen_us").observe(stats_.generation_ms * 1000.0);
@@ -259,7 +283,52 @@ Value JitEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
   return run_block(b, buf);
 }
 
-Value JitEngine::run_block(const JitBlock& block, Buffers& buf) {
+// Direct-threaded dispatch (GCC/Clang labels-as-values): every template
+// carries its handler's address, so executing an instruction is one indirect
+// goto — no bounds-checked switch, and the branch predictor sees one distinct
+// indirect jump per handler instead of a single shared dispatch point. The
+// portable switch fallback (ASP_NO_COMPUTED_GOTO, or non-GNU compilers)
+// compiles the same handler bodies inside a switch.
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(ASP_NO_COMPUTED_GOTO)
+#define ASP_JIT_THREADED 1
+#define VM_DISPATCH() \
+  in = &code[pc];     \
+  ++pc;               \
+  goto* in->handler
+#define VM_CASE(name) lbl_##name
+#else
+#define ASP_JIT_THREADED 0
+#define VM_DISPATCH() goto dispatch
+#define VM_CASE(name) case jop::name
+#endif
+
+Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
+                          const void* const** table_out) {
+#if ASP_JIT_THREADED
+  // Must mirror the jop enum order exactly: entry i handles opcode i.
+  static const void* const kLabels[jop::kCount] = {
+      &&lbl_kConst,     &&lbl_kLoadLocal, &&lbl_kStoreLocal, &&lbl_kLoadGlobal,
+      &&lbl_kJump,      &&lbl_kJumpIfFalse, &&lbl_kJumpIfTrue, &&lbl_kPop,
+      &&lbl_kDup,       &&lbl_kMakeTuple, &&lbl_kProj,       &&lbl_kCallPrim,
+      &&lbl_kCallFun,   &&lbl_kNot,       &&lbl_kNeg,        &&lbl_kRaise,
+      &&lbl_kTryPush,   &&lbl_kTryPop,    &&lbl_kSend,       &&lbl_kReturn,
+      &&lbl_kAdd,       &&lbl_kSub,       &&lbl_kMul,        &&lbl_kDiv,
+      &&lbl_kMod,       &&lbl_kEq,        &&lbl_kNe,         &&lbl_kLt,
+      &&lbl_kLe,        &&lbl_kGt,        &&lbl_kGe,         &&lbl_kConcat,
+      &&lbl_kProjLocal, &&lbl_kMoveField, &&lbl_kCallPrim1L, &&lbl_kEqConst,
+      &&lbl_kReturnLocal,
+  };
+  if (table_out != nullptr) {
+    *table_out = kLabels;
+    return Value{};
+  }
+#else
+  if (table_out != nullptr) {
+    *table_out = nullptr;
+    return Value{};
+  }
+#endif
+
   // Re-entering through kCallFun uses the next pool slot; the guard keeps
   // depth_ correct even when a PLAN-P exception unwinds through this frame.
   struct DepthGuard {
@@ -278,188 +347,195 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf) {
     std::size_t stack_depth;
   };
   std::vector<TryFrame> tries;
+  const SInstr* code = block.code.data();
+  const SInstr* in = nullptr;
   std::size_t pc = 0;
 
   for (;;) {
     try {
-      for (;;) {
-        const SInstr& in = block.code[pc];
-        ++pc;
-        switch (in.op) {
-          case jop::kConst: stack.push_back(*in.k); break;
-          case jop::kLoadLocal:
-            stack.push_back(locals[static_cast<std::size_t>(in.a)]);
-            break;
-          case jop::kStoreLocal:
-            locals[static_cast<std::size_t>(in.a)] = std::move(stack.back());
-            stack.pop_back();
-            break;
-          case jop::kLoadGlobal:
-            stack.push_back(globals_[static_cast<std::size_t>(in.a)]);
-            break;
-          case jop::kJump: pc = static_cast<std::size_t>(in.a); break;
-          case jop::kJumpIfFalse: {
-            bool c = stack.back().as_bool();
-            stack.pop_back();
-            if (!c) pc = static_cast<std::size_t>(in.a);
-            break;
-          }
-          case jop::kJumpIfTrue: {
-            bool c = stack.back().as_bool();
-            stack.pop_back();
-            if (c) pc = static_cast<std::size_t>(in.a);
-            break;
-          }
-          case jop::kPop: stack.pop_back(); break;
-          case jop::kDup: stack.push_back(stack.back()); break;
-          case jop::kMakeTuple: {
-            std::size_t n = static_cast<std::size_t>(in.a);
-            std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
-                                     stack.end());
-            stack.resize(stack.size() - n);
-            stack.push_back(Value::of_tuple(std::move(elems)));
-            break;
-          }
-          case jop::kProj: {
-            Value t = std::move(stack.back());
-            stack.pop_back();
-            stack.push_back(t.as_tuple()[static_cast<std::size_t>(in.a)]);
-            break;
-          }
-          case jop::kCallPrim: {
-            std::size_t n = static_cast<std::size_t>(in.b);
-            scratch_args.assign(stack.end() - static_cast<std::ptrdiff_t>(n),
-                                stack.end());
-            stack.resize(stack.size() - n);
-            stack.push_back(in.prim->fn(env_, scratch_args));
-            break;
-          }
-          case jop::kCallFun: {
-            std::size_t n = static_cast<std::size_t>(in.b);
-            const JitBlock& fb = functions_[static_cast<std::size_t>(in.a)];
-            Buffers& fbuf = buffer_at(depth_);
-            fbuf.locals.resize(static_cast<std::size_t>(
-                std::max<int>(fb.frame_slots, static_cast<int>(n))));
-            for (std::size_t k = 0; k < n; ++k) {
-              fbuf.locals[n - 1 - k] = std::move(stack.back());
-              stack.pop_back();
-            }
-            stack.push_back(run_block(fb, fbuf));
-            break;
-          }
-          case jop::kAdd: {
-            std::int64_t b2 = stack.back().as_int();
-            stack.pop_back();
-            stack.back() = Value::of_int(stack.back().as_int() + b2);
-            break;
-          }
-          case jop::kSub: {
-            std::int64_t b2 = stack.back().as_int();
-            stack.pop_back();
-            stack.back() = Value::of_int(stack.back().as_int() - b2);
-            break;
-          }
-          case jop::kMul: {
-            std::int64_t b2 = stack.back().as_int();
-            stack.pop_back();
-            stack.back() = Value::of_int(stack.back().as_int() * b2);
-            break;
-          }
-          case jop::kDiv: {
-            std::int64_t b2 = stack.back().as_int();
-            stack.pop_back();
-            if (b2 == 0) throw PlanPException{"DivByZero"};
-            stack.back() = Value::of_int(stack.back().as_int() / b2);
-            break;
-          }
-          case jop::kMod: {
-            std::int64_t b2 = stack.back().as_int();
-            stack.pop_back();
-            if (b2 == 0) throw PlanPException{"DivByZero"};
-            stack.back() = Value::of_int(stack.back().as_int() % b2);
-            break;
-          }
-          case jop::kEq: {
-            Value b2 = std::move(stack.back());
-            stack.pop_back();
-            stack.back() = Value::of_bool(stack.back().equals(b2));
-            break;
-          }
-          case jop::kNe: {
-            Value b2 = std::move(stack.back());
-            stack.pop_back();
-            stack.back() = Value::of_bool(!stack.back().equals(b2));
-            break;
-          }
-          case jop::kLt:
-          case jop::kLe:
-          case jop::kGt:
-          case jop::kGe: {
-            Value b2 = std::move(stack.back());
-            stack.pop_back();
-            int cmp = compare_values(stack.back(), b2);
-            bool r = in.op == jop::kLt   ? cmp < 0
-                     : in.op == jop::kLe ? cmp <= 0
-                     : in.op == jop::kGt ? cmp > 0
-                                         : cmp >= 0;
-            stack.back() = Value::of_bool(r);
-            break;
-          }
-          case jop::kConcat: {
-            std::string b2 = stack.back().as_string();
-            stack.pop_back();
-            stack.back() = Value::of_string(stack.back().as_string() + b2);
-            break;
-          }
-          case jop::kNot: stack.back() = Value::of_bool(!stack.back().as_bool()); break;
-          case jop::kNeg: stack.back() = Value::of_int(-stack.back().as_int()); break;
-          case jop::kRaise: throw PlanPException{in.k->as_string()};
-          case jop::kTryPush:
-            tries.push_back(TryFrame{in.a, stack.size()});
-            break;
-          case jop::kTryPop: tries.pop_back(); break;
-          case jop::kSend: {
-            Value pkt = std::move(stack.back());
-            stack.pop_back();
-            const std::string& chan = in.k->as_string();
-            switch (static_cast<SendKind>(in.a)) {
-              case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
-              case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
-              case SendKind::kDeliver: env_.deliver(pkt); break;
-              case SendKind::kDrop: env_.drop(); break;
-            }
-            break;
-          }
-          case jop::kReturn: return std::move(stack.back());
-
-          // --- superinstructions ------------------------------------------------
-          case jop::kProjLocal:
-            stack.push_back(
-                locals[static_cast<std::size_t>(in.a)]
-                    .as_tuple()[static_cast<std::size_t>(in.b)]);
-            break;
-          case jop::kMoveField: {
-            int field = in.b & 0xFFFF;
-            int dst = in.b >> 16;
-            locals[static_cast<std::size_t>(dst)] =
-                locals[static_cast<std::size_t>(in.a)]
-                    .as_tuple()[static_cast<std::size_t>(field)];
-            break;
-          }
-          case jop::kCallPrim1L:
-            scratch_args.assign(1, locals[static_cast<std::size_t>(in.a)]);
-            stack.push_back(in.prim->fn(env_, scratch_args));
-            break;
-          case jop::kEqConst:
-            stack.back() = Value::of_bool(stack.back().equals(*in.k));
-            break;
-          case jop::kReturnLocal:
-            return locals[static_cast<std::size_t>(in.a)];
-
-          default:
-            throw EvalBug{"jit: bad opcode"};
+#if !ASP_JIT_THREADED
+    dispatch:
+      in = &code[pc];
+      ++pc;
+      switch (in->op) {
+#else
+      VM_DISPATCH();
+#endif
+        VM_CASE(kConst) : stack.push_back(*in->k);
+        VM_DISPATCH();
+        VM_CASE(kLoadLocal) : stack.push_back(locals[static_cast<std::size_t>(in->a)]);
+        VM_DISPATCH();
+        VM_CASE(kStoreLocal) : {
+          locals[static_cast<std::size_t>(in->a)] = std::move(stack.back());
+          stack.pop_back();
         }
+        VM_DISPATCH();
+        VM_CASE(kLoadGlobal) : stack.push_back(globals_[static_cast<std::size_t>(in->a)]);
+        VM_DISPATCH();
+        VM_CASE(kJump) : pc = static_cast<std::size_t>(in->a);
+        VM_DISPATCH();
+        VM_CASE(kJumpIfFalse) : {
+          bool c = stack.back().as_bool();
+          stack.pop_back();
+          if (!c) pc = static_cast<std::size_t>(in->a);
+        }
+        VM_DISPATCH();
+        VM_CASE(kJumpIfTrue) : {
+          bool c = stack.back().as_bool();
+          stack.pop_back();
+          if (c) pc = static_cast<std::size_t>(in->a);
+        }
+        VM_DISPATCH();
+        VM_CASE(kPop) : stack.pop_back();
+        VM_DISPATCH();
+        VM_CASE(kDup) : stack.push_back(stack.back());
+        VM_DISPATCH();
+        VM_CASE(kMakeTuple) : {
+          std::size_t n = static_cast<std::size_t>(in->a);
+          std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
+                                   stack.end());
+          stack.resize(stack.size() - n);
+          stack.push_back(Value::of_tuple(std::move(elems)));
+        }
+        VM_DISPATCH();
+        VM_CASE(kProj) : {
+          Value t = std::move(stack.back());
+          stack.pop_back();
+          stack.push_back(t.as_tuple()[static_cast<std::size_t>(in->a)]);
+        }
+        VM_DISPATCH();
+        VM_CASE(kCallPrim) : {
+          std::size_t n = static_cast<std::size_t>(in->b);
+          scratch_args.assign(stack.end() - static_cast<std::ptrdiff_t>(n),
+                              stack.end());
+          stack.resize(stack.size() - n);
+          stack.push_back(in->prim->fn(env_, scratch_args));
+        }
+        VM_DISPATCH();
+        VM_CASE(kCallFun) : {
+          std::size_t n = static_cast<std::size_t>(in->b);
+          const JitBlock& fb = functions_[static_cast<std::size_t>(in->a)];
+          Buffers& fbuf = buffer_at(depth_);
+          fbuf.locals.resize(static_cast<std::size_t>(
+              std::max<int>(fb.frame_slots, static_cast<int>(n))));
+          for (std::size_t k = 0; k < n; ++k) {
+            fbuf.locals[n - 1 - k] = std::move(stack.back());
+            stack.pop_back();
+          }
+          stack.push_back(run_block(fb, fbuf));
+        }
+        VM_DISPATCH();
+        VM_CASE(kAdd) : {
+          std::int64_t b2 = stack.back().as_int();
+          stack.pop_back();
+          stack.back() = Value::of_int(stack.back().as_int() + b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kSub) : {
+          std::int64_t b2 = stack.back().as_int();
+          stack.pop_back();
+          stack.back() = Value::of_int(stack.back().as_int() - b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kMul) : {
+          std::int64_t b2 = stack.back().as_int();
+          stack.pop_back();
+          stack.back() = Value::of_int(stack.back().as_int() * b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kDiv) : {
+          std::int64_t b2 = stack.back().as_int();
+          stack.pop_back();
+          if (b2 == 0) throw PlanPException{"DivByZero"};
+          stack.back() = Value::of_int(stack.back().as_int() / b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kMod) : {
+          std::int64_t b2 = stack.back().as_int();
+          stack.pop_back();
+          if (b2 == 0) throw PlanPException{"DivByZero"};
+          stack.back() = Value::of_int(stack.back().as_int() % b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kEq) : {
+          Value b2 = std::move(stack.back());
+          stack.pop_back();
+          stack.back() = Value::of_bool(stack.back().equals(b2));
+        }
+        VM_DISPATCH();
+        VM_CASE(kNe) : {
+          Value b2 = std::move(stack.back());
+          stack.pop_back();
+          stack.back() = Value::of_bool(!stack.back().equals(b2));
+        }
+        VM_DISPATCH();
+        VM_CASE(kLt) : VM_CASE(kLe) : VM_CASE(kGt) : VM_CASE(kGe) : {
+          Value b2 = std::move(stack.back());
+          stack.pop_back();
+          int cmp = compare_values(stack.back(), b2);
+          bool r = in->op == jop::kLt   ? cmp < 0
+                   : in->op == jop::kLe ? cmp <= 0
+                   : in->op == jop::kGt ? cmp > 0
+                                        : cmp >= 0;
+          stack.back() = Value::of_bool(r);
+        }
+        VM_DISPATCH();
+        VM_CASE(kConcat) : {
+          std::string b2 = stack.back().as_string();
+          stack.pop_back();
+          stack.back() = Value::of_string(stack.back().as_string() + b2);
+        }
+        VM_DISPATCH();
+        VM_CASE(kNot) : stack.back() = Value::of_bool(!stack.back().as_bool());
+        VM_DISPATCH();
+        VM_CASE(kNeg) : stack.back() = Value::of_int(-stack.back().as_int());
+        VM_DISPATCH();
+        VM_CASE(kRaise) : throw PlanPException{in->k->as_string()};
+        VM_CASE(kTryPush) : tries.push_back(TryFrame{in->a, stack.size()});
+        VM_DISPATCH();
+        VM_CASE(kTryPop) : tries.pop_back();
+        VM_DISPATCH();
+        VM_CASE(kSend) : {
+          Value pkt = std::move(stack.back());
+          stack.pop_back();
+          const std::string& chan = in->k->as_string();
+          switch (static_cast<SendKind>(in->a)) {
+            case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
+            case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
+            case SendKind::kDeliver: env_.deliver(pkt); break;
+            case SendKind::kDrop: env_.drop(); break;
+          }
+        }
+        VM_DISPATCH();
+        VM_CASE(kReturn) : return std::move(stack.back());
+
+        // --- superinstructions --------------------------------------------------
+        VM_CASE(kProjLocal) : stack.push_back(
+            locals[static_cast<std::size_t>(in->a)]
+                .as_tuple()[static_cast<std::size_t>(in->b)]);
+        VM_DISPATCH();
+        VM_CASE(kMoveField) : {
+          int field = in->b & 0xFFFF;
+          int dst = in->b >> 16;
+          locals[static_cast<std::size_t>(dst)] =
+              locals[static_cast<std::size_t>(in->a)]
+                  .as_tuple()[static_cast<std::size_t>(field)];
+        }
+        VM_DISPATCH();
+        VM_CASE(kCallPrim1L) : {
+          scratch_args.assign(1, locals[static_cast<std::size_t>(in->a)]);
+          stack.push_back(in->prim->fn(env_, scratch_args));
+        }
+        VM_DISPATCH();
+        VM_CASE(kEqConst) : stack.back() = Value::of_bool(stack.back().equals(*in->k));
+        VM_DISPATCH();
+        VM_CASE(kReturnLocal) : return locals[static_cast<std::size_t>(in->a)];
+
+#if !ASP_JIT_THREADED
+        default:
+          throw EvalBug{"jit: bad opcode"};
       }
+#endif
     } catch (const PlanPException&) {
       if (tries.empty()) throw;
       TryFrame t = tries.back();
@@ -469,5 +545,8 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf) {
     }
   }
 }
+
+#undef VM_DISPATCH
+#undef VM_CASE
 
 }  // namespace asp::planp

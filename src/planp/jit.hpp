@@ -29,6 +29,11 @@ struct SInstr {
   std::int32_t b = 0;
   const Value* k = nullptr;       // patched constant
   const Primitive* prim = nullptr;  // patched primitive entry point
+  // Pre-resolved dispatch target: the address of this op's handler label
+  // inside run_block (direct threading, GCC/Clang labels-as-values). Patched
+  // by the JitEngine at specialization time; null until then, and unused when
+  // the portable switch fallback is compiled (ASP_NO_COMPUTED_GOTO).
+  const void* handler = nullptr;
 };
 
 /// Specialized ops. The first block mirrors Op; the rest are superinstructions
@@ -122,7 +127,12 @@ class JitEngine : public Engine {
     std::vector<Value> args;
   };
 
-  Value run_block(const JitBlock& block, Buffers& buf);
+  /// Executes one specialized block. With `table_out` non-null the call is a
+  /// pure query: it writes the handler label table (indexed by jop, or null
+  /// when built with the switch fallback) and returns immediately — this is
+  /// how the constructor obtains the addresses it patches into SInstr.
+  Value run_block(const JitBlock& block, Buffers& buf,
+                  const void* const** table_out = nullptr);
   Buffers& buffer_at(int depth);
 
   const CompiledProgram& prog_;

@@ -48,6 +48,19 @@ std::size_t mix(std::size_t h, std::size_t v) {
 }  // namespace
 
 std::size_t Value::hash() const {
+  // Only the aggregates are worth memoizing (and they are immutable, so the
+  // memo can never go stale); scalars hash in a few cycles.
+  if (std::holds_alternative<TupleRep>(rep_) || std::holds_alternative<Blob>(rep_)) {
+    if (hash_cache_ == 0) {
+      std::size_t h = hash_uncached();
+      hash_cache_ = h == 0 ? 1 : h;
+    }
+    return hash_cache_;
+  }
+  return hash_uncached();
+}
+
+std::size_t Value::hash_uncached() const {
   return std::visit(
       [](const auto& a) -> std::size_t {
         using T = std::decay_t<decltype(a)>;
@@ -63,6 +76,11 @@ std::size_t Value::hash() const {
           return std::hash<std::string>{}(a);
         } else if constexpr (std::is_same_v<T, asp::net::Ipv4Addr>) {
           return std::hash<asp::net::Ipv4Addr>{}(a);
+        } else if constexpr (std::is_same_v<T, Blob>) {
+          // Content hash, consistent with equals() comparing contents.
+          std::size_t h = 0xB10B;
+          for (std::uint8_t byte : *a) h = mix(h, byte);
+          return h;
         } else if constexpr (std::is_same_v<T, TupleRep>) {
           std::size_t h = 0xABCD;
           for (const Value& v : *a) h = mix(h, v.hash());

@@ -33,7 +33,9 @@ struct ChanVal {
   friend bool operator==(const ChanVal& a, const ChanVal& b) { return a.name == b.name; }
 };
 
-using Blob = std::shared_ptr<const std::vector<std::uint8_t>>;
+/// Same rep as asp::net::Buffer: a blob Value and a Packet payload can alias
+/// one buffer, which is what makes packet decode zero-copy.
+using Blob = asp::net::Buffer;
 using TupleRep = std::shared_ptr<std::vector<Value>>;
 using TableRef = std::shared_ptr<HashTable>;
 
@@ -66,7 +68,7 @@ class Value {
   static Value of_string(std::string v) { return Value{Rep{std::move(v)}}; }
   static Value of_host(asp::net::Ipv4Addr v) { return Value{Rep{v}}; }
   static Value of_blob(std::vector<std::uint8_t> v) {
-    return Value{Rep{std::make_shared<const std::vector<std::uint8_t>>(std::move(v))}};
+    return Value{Rep{asp::net::make_buffer(std::move(v))}};
   }
   static Value of_blob_shared(Blob b) { return Value{Rep{std::move(b)}}; }
   static Value of_ip(asp::net::IpHeader h) { return Value{Rep{h}}; }
@@ -99,6 +101,10 @@ class Value {
   bool equals(const Value& o) const;
 
   /// Hash consistent with equals (key types only; others throw EvalBug).
+  /// Aggregate hashes (blob contents, tuples) are memoized per Value: table
+  /// keys built from packets get probed several times per packet (contains /
+  /// get / set in the HTTP gateway's connection table), and the aggregates
+  /// are immutable, so the walk happens once.
   std::size_t hash() const;
 
   /// Display form, as the paper's `print` primitive would show it.
@@ -111,7 +117,12 @@ class Value {
     throw EvalBug{std::string("value is not a ") + what};
   }
 
+  std::size_t hash_uncached() const;
+
   Rep rep_;
+  // Memoized hash() for Blob/TupleRep reps (0 = not yet computed; computed
+  // hashes are nudged off 0). Copies carry the memo with them.
+  mutable std::size_t hash_cache_ = 0;
 };
 
 /// The `(k, v) hash_table` runtime object: mutable, identity semantics.

@@ -28,22 +28,28 @@ RuntimeStats AspRuntime::stats() const {
 }
 
 AspRuntime::~AspRuntime() {
-  if (proto_ != nullptr) uninstall();
+  if (cur_ != nullptr) uninstall();
+}
+
+std::size_t AspRuntime::DispatchIndex::proto_slot(const asp::net::Packet& p) {
+  if (p.tcp && p.ip.proto == asp::net::IpProto::kTcp) return 1;
+  if (p.udp && p.ip.proto == asp::net::IpProto::kUdp) return 2;
+  return 0;
 }
 
 planp::Protocol& AspRuntime::install(const std::string& source,
                                      planp::Protocol::Options opts) {
-  if (proto_ != nullptr) uninstall();
+  if (cur_ != nullptr) uninstall();
   ++generation_;
-  proto_ = planp::Protocol::load(source, *this, opts);
+  auto inst = std::make_unique<Installed>();
+  inst->proto = planp::Protocol::load(source, *this, opts);
 
-  const auto& channels = proto_->checked().channels;
+  const auto& channels = inst->proto->checked().channels;
   // The protocol state is shared between all channels (paper §2); their
   // declared protocol-state types must therefore agree.
   for (std::size_t i = 1; i < channels.size(); ++i) {
     if (!channels[i]->ps_type->equals(*channels[0]->ps_type)) {
       planp::Loc loc = channels[i]->loc;
-      proto_.reset();
       throw planp::PlanPError(
           "install", loc,
           "all channels must declare the same protocol state type (it is shared)");
@@ -55,7 +61,7 @@ planp::Protocol& AspRuntime::install(const std::string& source,
   channel_states_.clear();
   channel_states_.reserve(channels.size());
   for (std::size_t i = 0; i < channels.size(); ++i) {
-    channel_states_.push_back(proto_->engine().init_state(static_cast<int>(i)));
+    channel_states_.push_back(inst->proto->engine().init_state(static_cast<int>(i)));
   }
   // Per-channel dispatch counters (overloads sharing a name share a counter).
   channel_counters_.clear();
@@ -65,46 +71,82 @@ planp::Protocol& AspRuntime::install(const std::string& source,
         &obs::registry().counter(metric_prefix_ + "channel/" + c->name + "/handled"));
   }
 
+  // Build the dispatch index: channel name -> interned tag id, header shape
+  // -> slot lists. A channel whose packet type names a transport (`ip*tcp*…`)
+  // can only ever match packets of that shape, so it is filed under that slot
+  // alone; header-only channels (`ip*…`) accept any shape.
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const planp::ChannelDef& c = *channels[i];
+    std::uint32_t tag = asp::net::ChannelTags::intern(c.name);
+    DispatchIndex::Entry& e = inst->index.by_tag[tag];
+    const auto& parts = c.packet_type->args();
+    const std::uint16_t idx = static_cast<std::uint16_t>(i);
+    if (parts.size() > 1 && parts[1]->is(planp::Type::Kind::kTcp)) {
+      e.by_proto[1].push_back(idx);
+    } else if (parts.size() > 1 && parts[1]->is(planp::Type::Kind::kUdp)) {
+      e.by_proto[2].push_back(idx);
+    } else {
+      for (auto& slot : e.by_proto) slot.push_back(idx);
+    }
+  }
+  inst->index.untagged =
+      inst->index.lookup(asp::net::ChannelTags::intern("network"));
+
+  cur_ = std::move(inst);
   node_.set_ip_hook([this](asp::net::Packet& p, asp::net::Interface& in) {
     return on_packet(p, &in);
   });
-  return *proto_;
+  return *cur_->proto;
 }
 
 void AspRuntime::uninstall() {
   node_.set_ip_hook(nullptr);
   ++generation_;
-  if (dispatch_depth_ > 0 && proto_ != nullptr) {
-    retired_.push_back(std::move(proto_));  // keep the executing engine alive
+  if (dispatch_depth_ > 0 && cur_ != nullptr) {
+    retired_.push_back(std::move(cur_));  // keep the executing engine alive
   }
-  proto_.reset();
+  cur_.reset();
   channel_states_.clear();
 }
 
 bool AspRuntime::inject(asp::net::Packet p) { return on_packet(p, nullptr); }
 
 bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
-  if (proto_ == nullptr) return false;
-  planp::Protocol* proto = proto_.get();
+  if (cur_ == nullptr) return false;
+  Installed* inst = cur_.get();  // stays alive via retired_ across reinstalls
+  planp::Protocol* proto = inst->proto.get();
   std::uint64_t generation = generation_;
   const auto& channels = proto->checked().channels;
+
+  // User-channel packets dispatch by interned tag; untagged traffic goes to
+  // the distinguished `network` channels (paper §2). Packets built by
+  // encode_packet carry their tag id already; those whose channel string was
+  // assigned directly resolve it here, once.
+  if (p.channel_tag == 0 && !p.channel.empty()) {
+    p.channel_tag = asp::net::ChannelTags::intern(p.channel);
+  }
+  const DispatchIndex::Entry* entry = inst->index.lookup(p.channel_tag);
+  if (entry == nullptr) {  // unknown tag: no channel can match, pass to IP
+    m_passed_->inc();
+    return false;
+  }
+  const std::vector<std::uint16_t>& candidates =
+      entry->by_proto[DispatchIndex::proto_slot(p)];
 
   ++dispatch_depth_;
   bool taken = false;
   current_in_ = in;
-  for (std::size_t i = 0; i < channels.size(); ++i) {
+  for (std::uint16_t i : candidates) {
     if (generation_ != generation) break;  // protocol swapped mid-dispatch
     const planp::ChannelDef& c = *channels[i];
-    // User-channel packets dispatch by tag; untagged traffic goes to the
-    // distinguished `network` channels (paper §2).
-    if (p.channel.empty()) {
-      if (c.name != "network") continue;
-    } else {
-      if (c.name != p.channel) continue;
-    }
     std::optional<Value> decoded = decode_packet(p, c.packet_type);
     if (!decoded) continue;
-    auto t0 = std::chrono::steady_clock::now();
+    // Handler wall-clock is sampled 1-in-16 (the first dispatch always):
+    // two clock reads per packet cost more than the whole dispatch index on
+    // the fast path, and the latency distribution doesn't need every point.
+    const bool timed = (latency_probe_++ & 0xF) == 0;
+    std::chrono::steady_clock::time_point t0;
+    if (timed) t0 = std::chrono::steady_clock::now();
     try {
       Value out = proto->engine().run_channel(static_cast<int>(i), protocol_state_,
                                               channel_states_[i], *decoded);
@@ -126,9 +168,11 @@ bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
     }
     // Wall-clock handler cost (the engine runs in zero sim-time): this is
     // where interp vs bytecode vs JIT shows up per packet.
-    m_handle_us_->observe(std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
+    if (timed) {
+      m_handle_us_->observe(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+    }
   }
   current_in_ = nullptr;
   --dispatch_depth_;

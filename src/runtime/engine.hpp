@@ -7,9 +7,11 @@
 // claims fall through to standard IP behaviour.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/node.hpp"
@@ -47,8 +49,8 @@ class AspRuntime : public planp::EnvApi {
   /// Removes the protocol and restores standard IP processing.
   void uninstall();
 
-  bool installed() const { return proto_ != nullptr; }
-  planp::Protocol& protocol() { return *proto_; }
+  bool installed() const { return cur_ != nullptr; }
+  planp::Protocol& protocol() { return *cur_->proto; }
   asp::net::Node& node() { return node_; }
 
   /// Medium whose utilization linkLoad() reports (the audio router monitors
@@ -67,7 +69,8 @@ class AspRuntime : public planp::EnvApi {
   // --- statistics -------------------------------------------------------------
   /// Dispatch counters since construction, as one coherent snapshot. The same
   /// figures (plus per-channel dispatch counts and the packet handling-latency
-  /// histogram node/<name>/asp/handle_us) live in obs::registry().
+  /// histogram node/<name>/asp/handle_us, sampled 1-in-16 dispatches) live in
+  /// obs::registry().
   RuntimeStats stats() const;
   const std::string& log() const { return log_; }
   void clear_log() { log_.clear(); }
@@ -96,13 +99,43 @@ class AspRuntime : public planp::EnvApi {
 
   bool on_packet(asp::net::Packet& p, asp::net::Interface* in);
 
+  /// Per-protocol dispatch index, built once at install time. Maps an
+  /// interned channel-tag id and the packet's header shape (raw/tcp/udp) to
+  /// the candidate channel indices, replacing the per-packet linear
+  /// string-compare scan over every channel. Untagged traffic resolves to the
+  /// distinguished `network` channels.
+  struct DispatchIndex {
+    struct Entry {
+      // Candidate channel indices per transport shape, ascending (overload
+      // order preserved): [0] raw / header-only, [1] tcp, [2] udp.
+      std::array<std::vector<std::uint16_t>, 3> by_proto;
+    };
+    std::unordered_map<std::uint32_t, Entry> by_tag;
+    const Entry* untagged = nullptr;  // the `network` entry, if any
+
+    static std::size_t proto_slot(const asp::net::Packet& p);
+    const Entry* lookup(std::uint32_t tag) const {
+      if (tag == 0) return untagged;
+      auto it = by_tag.find(tag);
+      return it == by_tag.end() ? nullptr : &it->second;
+    }
+  };
+
+  /// A protocol together with its dispatch index: the two retire as a unit so
+  /// a reinstall from inside a channel handler cannot free the index the
+  /// in-flight dispatch loop is iterating.
+  struct Installed {
+    std::unique_ptr<planp::Protocol> proto;
+    DispatchIndex index;
+  };
+
   asp::net::Node& node_;
-  std::unique_ptr<planp::Protocol> proto_;
+  std::unique_ptr<Installed> cur_;
   // Reentrancy: a channel's deliver() can reach application code that
   // reinstalls a protocol (the MPEG client swaps its reply ASP for the
   // capture ASP). The executing protocol is retired, not destroyed, until
   // dispatch unwinds; a generation counter stops the dispatch loop.
-  std::vector<std::unique_ptr<planp::Protocol>> retired_;
+  std::vector<std::unique_ptr<Installed>> retired_;
   int dispatch_depth_ = 0;
   std::uint64_t generation_ = 0;
   planp::Value protocol_state_;
@@ -120,6 +153,7 @@ class AspRuntime : public planp::EnvApi {
   obs::Counter* m_dropped_ = nullptr;
   obs::Counter* m_errors_ = nullptr;
   obs::Histogram* m_handle_us_ = nullptr;
+  std::uint32_t latency_probe_ = 0;  // 1-in-16 handle_us sampling phase
   std::vector<obs::Counter*> channel_counters_;  // aligned with channels
   RuntimeStats base_;
   std::string log_;

@@ -62,13 +62,15 @@ void split_rest(asp::net::Packet& p, std::vector<std::uint8_t> rest) {
     h.flags = rest[12];
     h.wnd = get16(rest.data() + 14);
     p.tcp = h;
-    p.payload.assign(rest.begin() + asp::net::TcpHeader::kWireSize, rest.end());
+    rest.erase(rest.begin(), rest.begin() + asp::net::TcpHeader::kWireSize);
+    p.payload = std::move(rest);
     return;
   }
   if (p.ip.proto == asp::net::IpProto::kUdp &&
       rest.size() >= asp::net::UdpHeader::kWireSize) {
     p.udp = asp::net::UdpHeader{get16(rest.data()), get16(rest.data() + 2)};
-    p.payload.assign(rest.begin() + asp::net::UdpHeader::kWireSize, rest.end());
+    rest.erase(rest.begin(), rest.begin() + asp::net::UdpHeader::kWireSize);
+    p.payload = std::move(rest);
     return;
   }
   p.ip.proto = asp::net::IpProto::kRaw;
@@ -103,8 +105,12 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
 
   // Payload bytes the scalar fields decode from: for header-only patterns the
   // transport header rides at the front, so nothing is lost on re-emission.
-  const std::vector<std::uint8_t> rest =
-      transport_in_blob ? raw_rest(p) : p.payload;
+  // Only that case materializes bytes; otherwise we read the packet's shared
+  // payload buffer in place.
+  std::vector<std::uint8_t> scratch;
+  if (transport_in_blob) scratch = raw_rest(p);
+  const std::vector<std::uint8_t>& rest =
+      transport_in_blob ? scratch : p.payload.bytes();
 
   std::size_t off = 0;
   for (; i < parts.size(); ++i) {
@@ -129,11 +135,22 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
         off += 4;
         break;
       }
-      case Type::Kind::kBlob:
-        fields.push_back(Value::of_blob(std::vector<std::uint8_t>(
-            rest.begin() + static_cast<std::ptrdiff_t>(off), rest.end())));
+      case Type::Kind::kBlob: {
+        // The blob is the last field (is_packet_type guarantees it). A blob
+        // spanning the whole payload aliases the packet buffer: no copy, and
+        // every matching channel overload shares the same bytes.
+        const std::size_t blob_off = off;
         off = rest.size();
+        if (!transport_in_blob && blob_off == 0) {
+          fields.push_back(Value::of_blob_shared(p.payload.buffer()));
+        } else if (transport_in_blob && blob_off == 0) {
+          fields.push_back(Value::of_blob(std::move(scratch)));
+        } else {
+          fields.push_back(Value::of_blob(std::vector<std::uint8_t>(
+              rest.begin() + static_cast<std::ptrdiff_t>(blob_off), rest.end())));
+        }
         break;
+      }
       default:
         return std::nullopt;
     }
@@ -159,30 +176,48 @@ asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
     }
   }
 
+  // Header-only values (ip*blob and friends) carry the transport header at
+  // the front of the bytes; it must be split back out so the packet stays
+  // whole.
+  const bool needs_split =
+      !p.tcp && !p.udp && p.ip.proto != asp::net::IpProto::kRaw;
+
+  // Fast path: the whole payload is one blob and needs no splitting — alias
+  // the blob's buffer instead of copying it (the common re-emission shape:
+  // OnRemote(chan, (hdr..., #n p)) forwards the arriving bytes untouched).
+  if (i + 1 == fields.size() && !needs_split) {
+    if (const auto* blob = std::get_if<planp::Blob>(&fields[i].rep())) {
+      p.payload = asp::net::Payload(*blob);
+      p.set_channel(channel_tag);
+      return p;
+    }
+  }
+
+  std::vector<std::uint8_t> out;
   for (; i < fields.size(); ++i) {
     const auto& rep = fields[i].rep();
     if (const auto* c = std::get_if<char>(&rep)) {
-      p.payload.push_back(static_cast<std::uint8_t>(*c));
+      out.push_back(static_cast<std::uint8_t>(*c));
     } else if (const auto* b = std::get_if<bool>(&rep)) {
-      p.payload.push_back(*b ? 1 : 0);
+      out.push_back(*b ? 1 : 0);
     } else if (const auto* n = std::get_if<std::int64_t>(&rep)) {
       std::uint32_t u = static_cast<std::uint32_t>(*n);
-      p.payload.push_back(static_cast<std::uint8_t>(u >> 24));
-      p.payload.push_back(static_cast<std::uint8_t>(u >> 16));
-      p.payload.push_back(static_cast<std::uint8_t>(u >> 8));
-      p.payload.push_back(static_cast<std::uint8_t>(u));
+      out.push_back(static_cast<std::uint8_t>(u >> 24));
+      out.push_back(static_cast<std::uint8_t>(u >> 16));
+      out.push_back(static_cast<std::uint8_t>(u >> 8));
+      out.push_back(static_cast<std::uint8_t>(u));
     } else if (const auto* blob = std::get_if<planp::Blob>(&rep)) {
-      p.payload.insert(p.payload.end(), (*blob)->begin(), (*blob)->end());
+      out.insert(out.end(), (*blob)->begin(), (*blob)->end());
     } else {
       throw planp::EvalBug{"encode_packet: unsupported payload field"};
     }
   }
-  // Header-only value (ip*blob and friends): the transport header lives at
-  // the front of the bytes; split it back out so the packet stays whole.
-  if (!p.tcp && !p.udp && p.ip.proto != asp::net::IpProto::kRaw) {
-    split_rest(p, std::move(p.payload));
+  if (needs_split) {
+    split_rest(p, std::move(out));
+  } else {
+    p.payload = std::move(out);
   }
-  p.channel = channel_tag;
+  p.set_channel(channel_tag);
   return p;
 }
 

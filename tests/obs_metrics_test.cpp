@@ -269,5 +269,17 @@ TEST(Registry, DefaultRegistryIsProcessWide) {
   EXPECT_EQ(c.value(), before + 1);
 }
 
+TEST(Registry, StabilizedGaugeRecordsMedianAfterWarmup) {
+  int calls = 0;
+  // Samples after the 2 warmup calls: 10, 50, 30, 1000, 20 -> median 30.
+  double vals[] = {0, 0, 10, 50, 30, 1000, 20};
+  double med = record_stabilized_gauge(
+      "obs_test/stabilized", [&]() { return vals[calls++]; }, /*warmup=*/2,
+      /*reps=*/5);
+  EXPECT_EQ(calls, 7);
+  EXPECT_DOUBLE_EQ(med, 30.0);
+  EXPECT_DOUBLE_EQ(registry().gauge("obs_test/stabilized").value(), 30.0);
+}
+
 }  // namespace
 }  // namespace asp::obs
