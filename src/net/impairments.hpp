@@ -1,0 +1,57 @@
+// Link impairments: a seeded, deterministic fault model for media.
+//
+// The paper's premise is that ASPs adapt applications to a *degraded*
+// network (§3.1 adapts audio quality to measured bandwidth, §3.3 survives
+// receiver churn), so the simulator must be able to produce degradation on
+// demand: random loss, duplication, reordering (delay jitter), payload
+// corruption, and scheduled link outages (partitions). Every impairment is
+// driven by one xorshift stream seeded from `Impairments::seed`, and the
+// event queue is FIFO at equal timestamps, so a fixed (topology, traffic,
+// impairment) triple replays bit-for-bit — chaos tests and bench_chaos
+// assert on exact counts.
+#pragma once
+
+#include <cstdint>
+
+#include "net/time.hpp"
+
+namespace asp::net {
+
+/// Impairment configuration for one medium. Rates are per-frame
+/// probabilities in [0, 1]; `jitter` is the upper bound of a uniform extra
+/// delivery delay (which is what produces reordering: a later frame whose
+/// draw is small overtakes an earlier frame whose draw was large).
+struct Impairments {
+  double loss_rate = 0;       ///< P(frame dies in flight)
+  double duplicate_rate = 0;  ///< P(frame is delivered twice)
+  double corrupt_rate = 0;    ///< P(one payload byte is flipped in flight)
+  SimTime jitter = 0;         ///< extra delivery delay, uniform in [0, jitter]
+  /// Seed for the medium's xorshift stream. The default matches the
+  /// pre-Impairments loss stream, so loss-only configurations reproduce the
+  /// exact drop pattern older tests were written against.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
+  bool any() const {
+    return loss_rate > 0 || duplicate_rate > 0 || corrupt_rate > 0 || jitter > 0;
+  }
+};
+
+/// Per-cause delivery/drop accounting for one medium. The old conflated
+/// `dropped_packets_` counter could not tell a queue overflow from injected
+/// loss from a partition; the chaos bench needs to attribute what it
+/// measures, so every cause counts separately (the legacy aggregate is the
+/// sum, see Medium::dropped_packets()).
+struct ImpairmentStats {
+  std::uint64_t dropped_queue = 0;        ///< egress backlog exceeded capacity
+  std::uint64_t dropped_loss = 0;         ///< random in-flight loss
+  std::uint64_t dropped_down = 0;         ///< link was down (at tx or arrival)
+  std::uint64_t dropped_unaddressed = 0;  ///< no station claimed the frame
+  std::uint64_t duplicated = 0;           ///< extra copies put on the wire
+  std::uint64_t corrupted = 0;            ///< frames with a flipped byte
+
+  std::uint64_t total_dropped() const {
+    return dropped_queue + dropped_loss + dropped_down + dropped_unaddressed;
+  }
+};
+
+}  // namespace asp::net

@@ -21,72 +21,155 @@ void Interface::note_tx(SimTime now, std::size_t bytes) {
   if (node_ != nullptr) node_->note_tx_metrics(bytes);
 }
 
+Medium::Medium(EventQueue& events, std::string name, double bits_per_sec,
+               SimTime delay, std::uint64_t queue_capacity_bytes)
+    : events_(events),
+      name_(std::move(name)),
+      bandwidth_bps_(bits_per_sec),
+      delay_(delay),
+      queue_capacity_(queue_capacity_bytes) {
+  obs::MetricsRegistry& reg = obs::registry();
+  const std::string prefix = "medium/" + name_ + "/";
+  m_delivered_ = &reg.counter(prefix + "delivered_packets");
+  m_drop_queue_ = &reg.counter(prefix + "dropped_queue");
+  m_drop_loss_ = &reg.counter(prefix + "dropped_loss");
+  m_drop_down_ = &reg.counter(prefix + "dropped_down");
+  m_drop_unaddressed_ = &reg.counter(prefix + "dropped_unaddressed");
+  m_duplicated_ = &reg.counter(prefix + "duplicated");
+  m_corrupted_ = &reg.counter(prefix + "corrupted");
+  m_link_up_ = &reg.gauge(prefix + "link_up");
+  m_link_up_->set(1);
+}
+
+void Medium::set_link_up(bool up) {
+  link_up_ = up;
+  m_link_up_->set(up ? 1 : 0);
+}
+
+Medium::FramePlan Medium::plan_frame() {
+  FramePlan f;
+  if (roll(imp_.loss_rate)) {
+    f.lost = true;
+    return f;
+  }
+  f.corrupt = roll(imp_.corrupt_rate);
+  if (roll(imp_.duplicate_rate)) f.copies = 2;
+  if (imp_.jitter > 0) {
+    for (int i = 0; i < f.copies; ++i) f.extra[i] = next_rng() % (imp_.jitter + 1);
+  }
+  return f;
+}
+
+void Medium::apply_corruption(Packet& p) {
+  if (p.payload.empty()) return;  // headers are structured fields; only the
+                                  // payload has bytes to flip
+  std::uint64_t r = next_rng();
+  std::vector<std::uint8_t>& bytes = p.mutable_payload();
+  bytes[r % bytes.size()] ^= static_cast<std::uint8_t>((r >> 8) % 255 + 1);
+  ++stats_.corrupted;
+  m_corrupted_->inc();
+}
+
+void PointToPointLink::schedule_delivery(Interface* to, Packet&& p, SimTime arrival) {
+  events_.schedule_at(arrival, [this, to, p = std::move(p)]() mutable {
+    if (!link_up_) {  // partition started while the frame was in flight
+      count_drop_down();
+      return;
+    }
+    note_delivered(p);
+    Interface& in = *to;
+    in.node()->receive(std::move(p), in);
+  });
+}
+
 void PointToPointLink::transmit(Interface& from, Packet p) {
   int dir = (&from == ends_[0]) ? 0 : 1;
   Interface* to = ends_[1 - dir];
   if (to == nullptr) return;
 
   SimTime now = events_.now();
+  if (!link_up_) {
+    count_drop_down();
+    return;
+  }
   SimTime serialize = tx_time(p.wire_size(), bandwidth_bps_);
   SimTime start = busy_until_[dir] > now ? busy_until_[dir] : now;
   // Backlog check: how much queueing (in time) would this packet see?
   SimTime backlog_limit = tx_time(queue_capacity_, bandwidth_bps_);
   if (start - now > backlog_limit) {
-    ++dropped_packets_;
+    count_drop_queue();
     return;
   }
   busy_until_[dir] = start + serialize;
   std::size_t bytes = p.wire_size();
   from.note_tx(now, bytes);
   meter_.record(now, bytes);
-  if (roll_loss()) {
-    ++dropped_packets_;
+  // A lost frame still occupied the wire and counted toward the tx meters:
+  // the sender offered the load whether or not it arrived.
+  FramePlan plan = plan_frame();
+  if (plan.lost) {
+    count_drop_loss();
     return;
   }
-  SimTime arrival = busy_until_[dir] + delay_;
-  events_.schedule_at(arrival, [this, to, p = std::move(p)]() mutable {
-    ++delivered_packets_;
-    delivered_bytes_ += p.wire_size();
-    Interface& in = *to;
-    in.node()->receive(std::move(p), in);
+  if (plan.corrupt) apply_corruption(p);
+  if (plan.copies > 1) {
+    count_duplicated();
+    schedule_delivery(to, Packet(p), busy_until_[dir] + delay_ + plan.extra[1]);
+  }
+  schedule_delivery(to, std::move(p), busy_until_[dir] + delay_ + plan.extra[0]);
+}
+
+void EthernetSegment::schedule_delivery(const Interface* from, Packet&& p,
+                                        SimTime arrival) {
+  events_.schedule_at(arrival, [this, from, p = std::move(p)]() mutable {
+    if (!link_up_) {
+      count_drop_down();
+      return;
+    }
+    deliver(*from, std::move(p));
   });
 }
 
 void EthernetSegment::transmit(Interface& from, Packet p) {
   SimTime now = events_.now();
+  if (!link_up_) {
+    count_drop_down();
+    return;
+  }
   SimTime serialize = tx_time(p.wire_size(), bandwidth_bps_);
   SimTime start = busy_until_ > now ? busy_until_ : now;
   SimTime backlog_limit = tx_time(queue_capacity_, bandwidth_bps_);
   if (start - now > backlog_limit) {
-    ++dropped_packets_;
+    count_drop_queue();
     return;
   }
   busy_until_ = start + serialize;
   std::size_t bytes = p.wire_size();
   from.note_tx(now, bytes);
   meter_.record(now, bytes);
-  if (roll_loss()) {
-    ++dropped_packets_;
+  FramePlan plan = plan_frame();
+  if (plan.lost) {
+    count_drop_loss();
     return;
   }
-  SimTime arrival = busy_until_ + delay_;
+  if (plan.corrupt) apply_corruption(p);
   const Interface* sender = &from;
-  events_.schedule_at(arrival, [this, sender, p = std::move(p)]() mutable {
-    deliver(*sender, std::move(p));
-  });
+  if (plan.copies > 1) {
+    count_duplicated();
+    schedule_delivery(sender, Packet(p), busy_until_ + delay_ + plan.extra[1]);
+  }
+  schedule_delivery(sender, std::move(p), busy_until_ + delay_ + plan.extra[0]);
 }
 
 void EthernetSegment::deliver(const Interface& from, Packet&& p) {
   // Fan-out discipline: every receiver but the last gets a COW copy (aliasing
   // the one payload buffer); the final receiver gets the packet moved in.
   auto hand_copy = [&](Interface* iface) {
-    ++delivered_packets_;
-    delivered_bytes_ += p.wire_size();
+    note_delivered(p);
     iface->node()->receive(p, *iface);
   };
   auto hand_last = [&](Interface* iface) {
-    ++delivered_packets_;
-    delivered_bytes_ += p.wire_size();
+    note_delivered(p);
     iface->node()->receive(std::move(p), *iface);
   };
 
@@ -127,7 +210,7 @@ void EthernetSegment::deliver(const Interface& from, Packet&& p) {
   if (target != nullptr) {
     hand_last(target);
   } else {
-    ++dropped_packets_;
+    count_drop_unaddressed();
   }
 }
 

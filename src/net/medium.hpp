@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "net/event.hpp"
+#include "net/impairments.hpp"
 #include "net/meter.hpp"
 #include "net/packet.hpp"
 #include "net/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace asp::net {
 
@@ -68,12 +70,7 @@ class Interface {
 class Medium {
  public:
   Medium(EventQueue& events, std::string name, double bits_per_sec, SimTime delay,
-         std::uint64_t queue_capacity_bytes)
-      : events_(events),
-        name_(std::move(name)),
-        bandwidth_bps_(bits_per_sec),
-        delay_(delay),
-        queue_capacity_(queue_capacity_bytes) {}
+         std::uint64_t queue_capacity_bytes);
   virtual ~Medium() = default;
 
   Medium(const Medium&) = delete;
@@ -88,12 +85,49 @@ class Medium {
 
   std::uint64_t delivered_packets() const { return delivered_packets_; }
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
-  std::uint64_t dropped_packets() const { return dropped_packets_; }
 
-  /// Random uniform loss injection (failure testing). Deterministic per
-  /// medium: an xorshift stream seeded at construction.
-  void set_loss_rate(double rate) { loss_rate_ = rate; }
-  double loss_rate() const { return loss_rate_; }
+  // --- fault injection --------------------------------------------------------
+
+  /// Installs an impairment configuration and reseeds the medium's random
+  /// stream from `imp.seed` (two media with the same config, traffic and seed
+  /// replay identically).
+  void set_impairments(const Impairments& imp) {
+    imp_ = imp;
+    rng_ = imp.seed != 0 ? imp.seed : 1;  // xorshift state must be nonzero
+  }
+  /// Mutable access for mid-run schedule changes (rates/jitter only; this
+  /// does NOT reseed, so the random stream keeps its position).
+  Impairments& impairments() { return imp_; }
+  const Impairments& impairments() const { return imp_; }
+
+  /// Legacy shim: uniform random loss only.
+  void set_loss_rate(double rate) { imp_.loss_rate = rate; }
+  double loss_rate() const { return imp_.loss_rate; }
+
+  /// Link state. A down link drops frames at transmission *and* kills frames
+  /// still in flight when it goes down (their arrival finds the link down).
+  bool link_up() const { return link_up_; }
+  void set_link_up(bool up);
+  /// Schedules a link-state flip at absolute time `at`.
+  void schedule_link_state(SimTime at, bool up) {
+    events_.schedule_at(at, [this, up] { set_link_up(up); });
+  }
+  /// Schedules one outage (partition): down at `down_at`, back up at `up_at`.
+  void schedule_outage(SimTime down_at, SimTime up_at) {
+    schedule_link_state(down_at, false);
+    schedule_link_state(up_at, true);
+  }
+
+  /// Per-cause drop/duplication/corruption counts.
+  const ImpairmentStats& impairment_stats() const { return stats_; }
+  std::uint64_t dropped_queue() const { return stats_.dropped_queue; }
+  std::uint64_t dropped_loss() const { return stats_.dropped_loss; }
+  std::uint64_t dropped_down() const { return stats_.dropped_down; }
+  std::uint64_t dropped_unaddressed() const { return stats_.dropped_unaddressed; }
+  std::uint64_t duplicated_packets() const { return stats_.duplicated; }
+  std::uint64_t corrupted_packets() const { return stats_.corrupted; }
+  /// Legacy aggregate: every frame that failed to reach a receiver.
+  std::uint64_t dropped_packets() const { return stats_.total_dropped(); }
 
   /// Aggregate carried-traffic meter (all senders).
   BandwidthMeter& meter() { return meter_; }
@@ -105,13 +139,44 @@ class Medium {
   }
 
  protected:
-  /// True if the loss process says this packet dies on the wire.
-  bool roll_loss() {
-    if (loss_rate_ <= 0) return false;
+  /// The impairment dice for one frame, rolled in a fixed order (loss,
+  /// corruption, duplication, per-copy jitter) so the stream is deterministic
+  /// for a fixed configuration.
+  struct FramePlan {
+    bool lost = false;
+    bool corrupt = false;
+    int copies = 1;          // 2 when duplicated
+    SimTime extra[2] = {0, 0};  // per-copy delivery jitter
+  };
+  FramePlan plan_frame();
+
+  /// Flips one payload byte in place (no-op on empty payloads) and counts it.
+  void apply_corruption(Packet& p);
+
+  std::uint64_t next_rng() {
     rng_ ^= rng_ << 13;
     rng_ ^= rng_ >> 7;
     rng_ ^= rng_ << 17;
-    return static_cast<double>(rng_ % 1'000'000) < loss_rate_ * 1e6;
+    return rng_;
+  }
+  /// One Bernoulli draw; consumes randomness only when `rate > 0`.
+  bool roll(double rate) {
+    if (rate <= 0) return false;
+    return static_cast<double>(next_rng() % 1'000'000) < rate * 1e6;
+  }
+
+  void count_drop_queue() { ++stats_.dropped_queue; m_drop_queue_->inc(); }
+  void count_drop_loss() { ++stats_.dropped_loss; m_drop_loss_->inc(); }
+  void count_drop_down() { ++stats_.dropped_down; m_drop_down_->inc(); }
+  void count_drop_unaddressed() {
+    ++stats_.dropped_unaddressed;
+    m_drop_unaddressed_->inc();
+  }
+  void count_duplicated() { ++stats_.duplicated; m_duplicated_->inc(); }
+  void note_delivered(const Packet& p) {
+    ++delivered_packets_;
+    delivered_bytes_ += p.wire_size();
+    m_delivered_->inc();
   }
 
   EventQueue& events_;
@@ -121,10 +186,21 @@ class Medium {
   std::uint64_t queue_capacity_;  // bytes of backlog allowed beyond the wire
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t delivered_bytes_ = 0;
-  std::uint64_t dropped_packets_ = 0;
-  double loss_rate_ = 0;
+  Impairments imp_;
+  ImpairmentStats stats_;
+  bool link_up_ = true;
   std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
   BandwidthMeter meter_{kNsPerSec / 2};
+
+  // Cached instruments in the global registry (medium/<name>/...).
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_drop_queue_ = nullptr;
+  obs::Counter* m_drop_loss_ = nullptr;
+  obs::Counter* m_drop_down_ = nullptr;
+  obs::Counter* m_drop_unaddressed_ = nullptr;
+  obs::Counter* m_duplicated_ = nullptr;
+  obs::Counter* m_corrupted_ = nullptr;
+  obs::Gauge* m_link_up_ = nullptr;
 };
 
 /// Full-duplex point-to-point link between exactly two interfaces.
@@ -144,6 +220,8 @@ class PointToPointLink : public Medium {
   void transmit(Interface& from, Packet p) override;
 
  private:
+  void schedule_delivery(Interface* to, Packet&& p, SimTime arrival);
+
   Interface* ends_[2] = {nullptr, nullptr};
   SimTime busy_until_[2] = {0, 0};  // per direction
 };
@@ -167,6 +245,7 @@ class EthernetSegment : public Medium {
   const std::vector<Interface*>& interfaces() const { return ifaces_; }
 
  private:
+  void schedule_delivery(const Interface* from, Packet&& p, SimTime arrival);
   void deliver(const Interface& from, Packet&& p);
 
   std::vector<Interface*> ifaces_;

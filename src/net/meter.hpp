@@ -18,15 +18,29 @@ class BandwidthMeter {
   explicit BandwidthMeter(SimTime window = kNsPerSec) : window_(window) {}
 
   void record(SimTime t, std::uint64_t bytes) {
+    if (!seen_sample_) {
+      seen_sample_ = true;
+      first_sample_time_ = t;
+    }
     samples_.push_back({t, bytes});
     total_bytes_ += bytes;
     evict(t);
   }
 
   /// Average bits/sec over the trailing window ending at `now`.
+  ///
+  /// Before a full window of history exists, the divisor is the elapsed time
+  /// since the first sample rather than the whole window — dividing by the
+  /// full window would underreport the rate during start-up (the §3.1
+  /// adaptation ASP reads this meter from the first packet onwards). A floor
+  /// of 1 ms (clamped to the window) keeps the first instants finite.
   double rate_bps(SimTime now) {
     evict(now);
-    return static_cast<double>(total_bytes_) * 8.0 / to_seconds(window_);
+    if (!seen_sample_) return 0;
+    SimTime elapsed = now > first_sample_time_ ? now - first_sample_time_ : 0;
+    SimTime floor = window_ < kNsPerMs ? window_ : kNsPerMs;
+    SimTime effective = elapsed < floor ? floor : (elapsed > window_ ? window_ : elapsed);
+    return static_cast<double>(total_bytes_) * 8.0 / to_seconds(effective);
   }
 
   std::uint64_t window_bytes(SimTime now) {
@@ -52,6 +66,8 @@ class BandwidthMeter {
   SimTime window_;
   std::deque<Sample> samples_;
   std::uint64_t total_bytes_ = 0;
+  bool seen_sample_ = false;
+  SimTime first_sample_time_ = 0;
 };
 
 }  // namespace asp::net

@@ -67,6 +67,17 @@ class Network {
 
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
 
+  /// Every medium in creation order (chaos tests/benches impair them).
+  const std::vector<std::unique_ptr<Medium>>& media() const { return media_; }
+
+  /// Finds a medium by name ("a-b" for links, the given name for segments);
+  /// nullptr when absent.
+  Medium* find_medium(const std::string& name) {
+    for (auto& m : media_)
+      if (m->name() == name) return m.get();
+    return nullptr;
+  }
+
  private:
   EventQueue events_;
   std::vector<std::unique_ptr<Node>> nodes_;

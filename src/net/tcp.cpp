@@ -256,7 +256,21 @@ void TcpConnection::finish(bool notify) {
   }
   auto self = shared_from_this();  // keep alive through callbacks
   stack_.drop(*this);
-  if (notify && closed_cb_) closed_cb_();
+  // Clear the handlers: they commonly capture shared_ptrs back to this very
+  // connection (deploy sessions, HTTP clients), and a closed connection must
+  // not keep such reference cycles alive. The callables are destroyed from a
+  // fresh event rather than here, because one of them may be the function
+  // currently executing (abort() called from inside on_established/on_data).
+  auto closed = std::move(closed_cb_);
+  if (established_cb_ || data_cb_) {
+    stack_.node().events().schedule_in(
+        0, [graveyard_e = std::move(established_cb_),
+            graveyard_d = std::move(data_cb_)] {});
+  }
+  established_cb_ = nullptr;
+  data_cb_ = nullptr;
+  closed_cb_ = nullptr;
+  if (notify && closed) closed();
 }
 
 void TcpStack::listen(std::uint16_t port, AcceptHandler on_accept) {

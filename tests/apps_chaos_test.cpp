@@ -1,0 +1,76 @@
+// Chaos runs of the paper's experiments: the §3.1 audio broadcast and the
+// §3.2 HTTP cluster keep working (degraded, not dead) while their networks
+// lose, corrupt and partition traffic via the Impairments model.
+#include <gtest/gtest.h>
+
+#include "apps/audio/experiment.hpp"
+#include "apps/http/experiment.hpp"
+#include "net/network.hpp"
+
+namespace asp::apps {
+namespace {
+
+using asp::net::Impairments;
+using asp::net::millis;
+using asp::net::seconds;
+
+TEST(AppsChaos, AudioSurvivesLossOnClientLan) {
+  AudioExperiment exp(/*adaptation=*/true);
+  asp::net::Medium* lan = exp.network().find_medium("client-lan");
+  ASSERT_NE(lan, nullptr);
+  Impairments imp;
+  imp.loss_rate = 0.10;
+  imp.seed = 41;
+  lan->set_impairments(imp);
+
+  auto result = exp.run(10.0, {{0.0, 0.0}});
+
+  EXPECT_GT(lan->dropped_loss(), 0u);
+  // ~500 frames offered; 10% random loss thins the stream but the client
+  // keeps hearing full-quality audio (loss is not congestion: the measured
+  // load stays low, so the adaptation ASP has no reason to degrade).
+  EXPECT_GT(result.frames_received, result.frames_sent / 2);
+  EXPECT_LT(result.frames_received, result.frames_sent);
+  EXPECT_EQ(result.series.back().level, 0);
+}
+
+TEST(AppsChaos, AudioPartitionSilencesThenRecovers) {
+  AudioExperiment exp(/*adaptation=*/true);
+  asp::net::Medium* lan = exp.network().find_medium("client-lan");
+  ASSERT_NE(lan, nullptr);
+  lan->schedule_outage(seconds(3), seconds(5));
+
+  auto result = exp.run(10.0, {{0.0, 0.0}});
+
+  EXPECT_GT(lan->dropped_down(), 0u) << "the partition must have eaten frames";
+  EXPECT_GT(result.silent_ticks, 0) << "the client goes silent mid-partition";
+  // After the heal the stream resumes at full quality.
+  const AudioSample& last = result.series.back();
+  EXPECT_EQ(last.level, 0);
+  EXPECT_GT(last.audio_kbps, 100);
+}
+
+TEST(AppsChaos, HttpClusterCompletesRequestsUnderLoss) {
+  HttpExperiment::Options opts;
+  opts.config = HttpConfig::kAspGateway;
+  opts.client_machines = 1;
+  opts.processes_per_machine = 2;
+  opts.trace_accesses = 500;
+
+  HttpExperiment exp(opts);
+  asp::net::Medium* lan = exp.network().find_medium("server-lan");
+  ASSERT_NE(lan, nullptr);
+  Impairments imp;
+  imp.loss_rate = 0.05;
+  imp.seed = 43;
+  lan->set_impairments(imp);
+
+  auto result = exp.run(5.0);
+
+  EXPECT_GT(lan->dropped_loss(), 0u);
+  // TCP retransmission rides through 5% loss: requests still complete.
+  EXPECT_GT(result.completed, 50u);
+}
+
+}  // namespace
+}  // namespace asp::apps

@@ -50,10 +50,17 @@ struct ImageRig {
 
   void load_segment(double fraction) {
     // Pre-warm the segment meter with synthetic carried traffic: enough
-    // bytes in the trailing window to read as `fraction` utilization.
-    double window_sec = asp::net::to_seconds(seg->meter().window());
+    // bytes in the trailing window to read as `fraction` utilization. The
+    // meter averages over elapsed history when less than a window exists, so
+    // start its clock one full window early (0-byte sentinel) for the burst
+    // to read as a window-average.
+    asp::net::BandwidthMeter& m = seg->meter();
+    asp::net::SimTime window = m.window();
+    double window_sec = asp::net::to_seconds(window);
     auto bytes = static_cast<std::uint64_t>(10e6 * fraction * window_sec / 8.0);
-    seg->meter().record(net.now(), bytes);
+    net.run_until(net.now() + window);
+    m.record(net.now() - window, 0);
+    m.record(net.now(), bytes);
   }
 
   Network net;

@@ -76,8 +76,12 @@ TEST(BandwidthMeter, ComputesWindowRate) {
   BandwidthMeter m(kNsPerSec);  // 1 s window
   m.record(0, 1000);
   m.record(kNsPerSec / 2, 1000);
-  // 2000 bytes in 1 s -> 16 kb/s.
-  EXPECT_DOUBLE_EQ(m.rate_bps(kNsPerSec / 2), 16000.0);
+  // Only 0.5 s of history exists, so the average runs over the elapsed time,
+  // not the whole window: 2000 bytes in 0.5 s -> 32 kb/s (dividing by the
+  // full window would underreport start-up bandwidth, see meter.hpp).
+  EXPECT_DOUBLE_EQ(m.rate_bps(kNsPerSec / 2), 32000.0);
+  // Once a full window has elapsed, the same bytes average over the window.
+  EXPECT_DOUBLE_EQ(m.rate_bps(kNsPerSec), 16000.0);
 }
 
 TEST(BandwidthMeter, EvictsOldSamples) {

@@ -1,0 +1,61 @@
+// Regression tests for BandwidthMeter's start-up window (the §3.1 adaptation
+// ASP reads the meter from the first packet onwards; dividing by the full
+// window before one window of history exists underreported bandwidth and
+// skewed the early adaptation decision).
+#include <gtest/gtest.h>
+
+#include "net/meter.hpp"
+
+namespace asp::net {
+namespace {
+
+TEST(MeterStartup, EarlyWindowRateIsNotUnderreported) {
+  BandwidthMeter m(kNsPerSec);  // 1 s window
+  // A steady 100 kb/s stream: 125 bytes every 10 ms.
+  for (int i = 0; i < 10; ++i) m.record(millis(10) * i, 125);
+  // After only 100 ms of history the meter must already read ~100 kb/s; the
+  // old full-window divisor reported 10 kb/s here.
+  double rate = m.rate_bps(millis(100));
+  EXPECT_NEAR(rate, 100e3, 20e3);
+  EXPECT_GT(rate, 50e3) << "start-up rate underreported";
+}
+
+TEST(MeterStartup, FirstInstantIsFiniteViaFloor) {
+  BandwidthMeter m(kNsPerSec);
+  m.record(0, 1250);
+  // Queried at the very instant of the first sample: the 1 ms floor keeps
+  // the rate finite (1250 bytes / 1 ms = 10 Mb/s), not a division by zero.
+  double rate = m.rate_bps(0);
+  EXPECT_DOUBLE_EQ(rate, 10e6);
+}
+
+TEST(MeterStartup, ConvergesToWindowAverageAfterFullWindow) {
+  BandwidthMeter m(kNsPerSec);
+  // 100 kb/s for two full windows.
+  for (int i = 0; i < 200; ++i) m.record(millis(10) * i, 125);
+  EXPECT_NEAR(m.rate_bps(seconds(2)), 100e3, 5e3);
+}
+
+TEST(MeterStartup, EmptyMeterStaysZero) {
+  BandwidthMeter m(kNsPerSec);
+  EXPECT_DOUBLE_EQ(m.rate_bps(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate_bps(seconds(10)), 0.0);
+}
+
+TEST(MeterStartup, TinyWindowFloorsAtTheWindowItself) {
+  BandwidthMeter m(micros(100));  // window shorter than the 1 ms floor
+  m.record(0, 100);
+  // The floor is clamped to the window, so the rate never reads below the
+  // window-average the old code would have produced.
+  EXPECT_DOUBLE_EQ(m.rate_bps(0), 100 * 8.0 / to_seconds(micros(100)));
+}
+
+TEST(MeterStartup, IdleGapAfterStartupStillEvicts) {
+  BandwidthMeter m(kNsPerSec);
+  m.record(0, 1000);
+  // Long after the sample left the window, the rate is zero again.
+  EXPECT_DOUBLE_EQ(m.rate_bps(seconds(5)), 0.0);
+}
+
+}  // namespace
+}  // namespace asp::net
