@@ -1,14 +1,19 @@
 // Zero-copy packet fast path (COW payloads + interned dispatch + threaded
-// JIT): end-to-end packets/sec through AspRuntime::inject and heap
-// allocations/packet, across interp vs jit vs the jit+COW pass-through path.
+// JIT) over the pooled-buffer/arena memory subsystem: end-to-end packets/sec
+// through AspRuntime::inject and heap allocations/packet, across interp vs
+// jit vs the jit+COW pass-through path.
 //
 // Besides the google-benchmark timings, main() publishes median-of-5 gauges
 // (bench/fastpath/*) into BENCH_fastpath.json, alongside the pre-PR baseline:
 // the same workload measured back-to-back (interleaved, median of 5) against
-// a build of the previous commit — linear string-compare dispatch, vector
-// payloads, switch-dispatch JIT:
-//   tagged dispatch   ~1.42e6 pps at 13 allocs/packet
-//   pass-through      ~1.24e7 pps at  2 allocs/packet
+// a build of the previous commit — fast-path dispatch but malloc-backed
+// buffers, heap tuples, and per-call execution frames:
+//   tagged dispatch   ~2.15e6 pps at 8 allocs/packet
+//   pass-through      ~6.89e7 pps at 0 allocs/packet
+//
+// Every global operator new is attributed to a subsystem via the thread-local
+// mem::AllocTag the pools set around their refill paths, so the per-packet
+// figure decomposes into buffer / tuple / frame / event / other.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -16,16 +21,25 @@
 #include <cstdlib>
 #include <new>
 
+#include "mem/pool.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/engine.hpp"
 
 // --- allocation accounting ----------------------------------------------------
-// Counts every global operator new in the process; the per-packet figures
-// difference the counter around a measured loop, so unrelated startup
-// allocations don't pollute them.
+// Counts every global operator new in the process, bucketed by the subsystem
+// tag active on the allocating thread; the per-packet figures difference the
+// counters around a measured loop, so unrelated startup allocations don't
+// pollute them.
 namespace {
-std::atomic<std::uint64_t> g_allocs{0};
+constexpr std::size_t kTagCount =
+    static_cast<std::size_t>(asp::mem::AllocTag::kCount);
+std::atomic<std::uint64_t> g_allocs_by_tag[kTagCount]{};
+
+void count_alloc() {
+  const auto tag = static_cast<std::size_t>(asp::mem::current_alloc_tag());
+  g_allocs_by_tag[tag].fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace
 
 // GCC flags free() inside a replaced operator delete as a mismatched pair
@@ -36,12 +50,12 @@ std::atomic<std::uint64_t> g_allocs{0};
 #endif
 
 void* operator new(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  count_alloc();
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  count_alloc();
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc{};
 }
@@ -57,10 +71,18 @@ using namespace asp;
 // Pre-PR numbers, measured on the same machine/flags with the same workload
 // (see the header comment). Kept in the JSON so the speedup is computed
 // against a recorded baseline rather than a guess.
-constexpr double kPreprTaggedPps = 1.42e6;
-constexpr double kPreprTaggedAllocsPerPacket = 13.0;
-constexpr double kPreprPassthroughPps = 1.24e7;
-constexpr double kPreprPassthroughAllocsPerPacket = 2.0;
+constexpr double kPreprTaggedPps = 2.15e6;
+constexpr double kPreprTaggedAllocsPerPacket = 8.0;
+constexpr double kPreprPassthroughPps = 6.89e7;
+constexpr double kPreprPassthroughAllocsPerPacket = 0.0;
+
+// The alloc budget the memory subsystem is held to on the tagged path; CI
+// fails the Release job if the measured figure exceeds it.
+constexpr double kTaggedAllocBudget = 2.0;
+
+// Display names, indexed by AllocTag.
+constexpr const char* kTagName[kTagCount] = {"other", "buffer", "tuple",
+                                             "frame", "event"};
 
 const char* kProtocol = R"(
 channel ctrl(ps : int, ss : unit, p : ip*udp*char*int) is (drop(); (ps + 1, ss))
@@ -137,15 +159,28 @@ double measure_pps(runtime::AspRuntime& rt, const net::Packet& packet, int n) {
   return n / std::chrono::duration<double>(t1 - t0).count();
 }
 
-double measure_allocs_per_packet(runtime::AspRuntime& rt, const net::Packet& packet,
-                                 int n) {
-  std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+struct AllocBreakdown {
+  double total = 0;
+  double by_tag[kTagCount] = {};
+};
+
+AllocBreakdown measure_allocs_per_packet(runtime::AspRuntime& rt,
+                                         const net::Packet& packet, int n) {
+  std::uint64_t before[kTagCount];
+  for (std::size_t t = 0; t < kTagCount; ++t) {
+    before[t] = g_allocs_by_tag[t].load(std::memory_order_relaxed);
+  }
   for (int i = 0; i < n; ++i) {
     net::Packet copy = packet;
     benchmark::DoNotOptimize(rt.inject(std::move(copy)));
   }
-  std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
-  return static_cast<double>(after - before) / n;
+  AllocBreakdown out;
+  for (std::size_t t = 0; t < kTagCount; ++t) {
+    std::uint64_t after = g_allocs_by_tag[t].load(std::memory_order_relaxed);
+    out.by_tag[t] = static_cast<double>(after - before[t]) / n;
+    out.total += out.by_tag[t];
+  }
+  return out;
 }
 
 void export_gauges() {
@@ -167,12 +202,23 @@ void export_gauges() {
       "bench/fastpath/passthrough_jit_pps",
       [&] { return measure_pps(jit.rt, passthrough, kPackets); });
   double pass_allocs = obs::record_stabilized_gauge(
-      "bench/fastpath/passthrough_allocs_per_packet",
-      [&] { return measure_allocs_per_packet(jit.rt, passthrough, kPackets); });
-  obs::record_stabilized_gauge(
-      "bench/fastpath/tagged_allocs_per_packet",
-      [&] { return measure_allocs_per_packet(jit.rt, tagged, kPackets); });
+      "bench/fastpath/passthrough_allocs_per_packet", [&] {
+        return measure_allocs_per_packet(jit.rt, passthrough, kPackets).total;
+      });
+  // The stabilized gauge wants a scalar, so the total is stabilized and the
+  // per-subsystem decomposition comes from one extra measured pass.
+  double tagged_allocs = obs::record_stabilized_gauge(
+      "bench/fastpath/tagged_allocs_per_packet", [&] {
+        return measure_allocs_per_packet(jit.rt, tagged, kPackets).total;
+      });
+  AllocBreakdown tagged_split = measure_allocs_per_packet(jit.rt, tagged, kPackets);
+  for (std::size_t t = 0; t < kTagCount; ++t) {
+    reg.gauge(std::string("bench/fastpath/tagged_allocs_") + kTagName[t] +
+              "_per_packet")
+        .set(tagged_split.by_tag[t]);
+  }
 
+  reg.gauge("bench/fastpath/tagged_allocs_budget").set(kTaggedAllocBudget);
   reg.gauge("bench/fastpath/prepr_tagged_pps").set(kPreprTaggedPps);
   reg.gauge("bench/fastpath/prepr_tagged_allocs_per_packet")
       .set(kPreprTaggedAllocsPerPacket);
@@ -188,6 +234,12 @@ void export_gauges() {
               "pass-through %.3g pps (%.2fx pre-PR) at %.3f allocs/packet\n",
               interp_pps, jit_pps, jit_pps / kPreprTaggedPps, pass_pps,
               pass_pps / kPreprPassthroughPps, pass_allocs);
+  std::printf("fastpath: tagged %.3f allocs/packet (budget %.0f):", tagged_allocs,
+              kTaggedAllocBudget);
+  for (std::size_t t = 0; t < kTagCount; ++t) {
+    std::printf(" %s=%.3f", kTagName[t], tagged_split.by_tag[t]);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -198,6 +250,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   export_gauges();
+  asp::mem::publish_metrics();
   asp::obs::write_bench_json("fastpath");
   return 0;
 }

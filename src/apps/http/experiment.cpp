@@ -116,14 +116,17 @@ void HttpExperiment::install_asp_gateway() {
   // Wrap the runtime in the CPU-cost queue.
   gateway_->set_ip_hook([this](Packet& p, asp::net::Interface&) {
     if (!delay_and_forward(p)) return true;  // dropped at the gateway input
-    net_.events().schedule_at(gw_busy_until_, [this, p]() mutable {
-      if (!gw_rt_->inject(p)) {
-        if (p.ip.ttl > 1) {
-          --p.ip.ttl;
-          gateway_->forward(std::move(p));
-        }
-      }
-    });
+    // Boxed so the deferred Packet fits the EventFn inline capture budget.
+    net_.events().schedule_at(
+        gw_busy_until_, [this, box = asp::net::packet_boxes().box(Packet(p))]() mutable {
+          Packet& q = *box;
+          if (!gw_rt_->inject(q)) {
+            if (q.ip.ttl > 1) {
+              --q.ip.ttl;
+              gateway_->forward(std::move(q));
+            }
+          }
+        });
     return true;
   });
 }
@@ -136,9 +139,14 @@ void HttpExperiment::install_builtin_gateway() {
 
   gateway_->set_ip_hook([this, table, counter](Packet& p, asp::net::Interface&) {
     if (!delay_and_forward(p)) return true;
-    net_.events().schedule_at(gw_busy_until_, [this, table, counter, p]() mutable {
-      if (p.tcp && p.ip.dst == kVirtual && p.tcp->dport == 80) {
-        auto key = std::make_pair(p.ip.src.bits(), p.tcp->sport);
+    // Boxed Packet + two shared_ptrs + this: 56 bytes, inside the EventFn
+    // inline capture budget.
+    net_.events().schedule_at(gw_busy_until_, [this, table, counter,
+                                               box = asp::net::packet_boxes().box(
+                                                   Packet(p))]() mutable {
+      Packet& q = *box;
+      if (q.tcp && q.ip.dst == kVirtual && q.tcp->dport == 80) {
+        auto key = std::make_pair(q.ip.src.bits(), q.tcp->sport);
         auto it = table->find(key);
         int con;
         if (it != table->end()) {
@@ -147,18 +155,18 @@ void HttpExperiment::install_builtin_gateway() {
           con = (*counter) % 2;
           (*table)[key] = con;
         }
-        if (p.tcp->has(asp::net::tcpflag::kSyn) && !p.tcp->has(asp::net::tcpflag::kAck)) {
+        if (q.tcp->has(asp::net::tcpflag::kSyn) && !q.tcp->has(asp::net::tcpflag::kAck)) {
           ++(*counter);
         }
-        p.ip.dst = con == 0 ? kServer0 : kServer1;
-      } else if (p.tcp && p.tcp->sport == 80 &&
-                 (p.ip.src == kServer0 || p.ip.src == kServer1)) {
-        p.ip.src = kVirtual;
+        q.ip.dst = con == 0 ? kServer0 : kServer1;
+      } else if (q.tcp && q.tcp->sport == 80 &&
+                 (q.ip.src == kServer0 || q.ip.src == kServer1)) {
+        q.ip.src = kVirtual;
       }
-      if (p.ip.ttl > 1) {
-        --p.ip.ttl;
-        p.l2_next_hop = Ipv4Addr{};
-        gateway_->forward(std::move(p));
+      if (q.ip.ttl > 1) {
+        --q.ip.ttl;
+        q.l2_next_hop = Ipv4Addr{};
+        gateway_->forward(std::move(q));
       }
     });
     return true;

@@ -1,0 +1,237 @@
+#include "mem/pool.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace asp::mem {
+
+// --- attribution --------------------------------------------------------------
+
+namespace {
+thread_local AllocTag g_alloc_tag = AllocTag::kOther;
+}  // namespace
+
+AllocTag current_alloc_tag() { return g_alloc_tag; }
+void set_alloc_tag(AllocTag t) { g_alloc_tag = t; }
+
+// --- poison -------------------------------------------------------------------
+
+namespace {
+bool poison_from_env() {
+  const char* v = std::getenv("ASP_MEM_POISON");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+bool g_poison = poison_from_env();
+}  // namespace
+
+bool poison_enabled() { return g_poison; }
+void set_poison(bool on) { g_poison = on; }
+
+// --- stats registry -----------------------------------------------------------
+
+namespace {
+struct StatsEntry {
+  std::string name;
+  const PoolStats* stats;
+};
+// Leaked: register_pool_stats can be called from leaked-singleton
+// constructors whose order relative to this file's statics is unspecified,
+// and the list must outlive every pool.
+std::vector<StatsEntry>& stats_list() {
+  static auto* list = new std::vector<StatsEntry>;
+  return *list;
+}
+
+std::uint64_t g_heap_captures = 0;
+std::uint64_t g_heap_capture_bytes = 0;
+}  // namespace
+
+void register_pool_stats(const std::string& name, const PoolStats* stats) {
+  stats_list().push_back({name, stats});
+}
+
+void publish_metrics() {
+  auto& reg = obs::registry();
+  for (const auto& e : stats_list()) {
+    reg.gauge(e.name + "/hits").set(static_cast<double>(e.stats->hits));
+    reg.gauge(e.name + "/misses").set(static_cast<double>(e.stats->misses));
+    reg.gauge(e.name + "/recycled").set(static_cast<double>(e.stats->recycled));
+    reg.gauge(e.name + "/recycled_bytes")
+        .set(static_cast<double>(e.stats->recycled_bytes));
+    reg.gauge(e.name + "/live").set(static_cast<double>(e.stats->live));
+  }
+  reg.gauge("mem/event/heap_captures").set(static_cast<double>(g_heap_captures));
+  reg.gauge("mem/event/heap_capture_bytes")
+      .set(static_cast<double>(g_heap_capture_bytes));
+}
+
+void note_heap_capture(std::size_t bytes) {
+  ++g_heap_captures;
+  g_heap_capture_bytes += bytes;
+}
+
+std::uint64_t heap_capture_count() { return g_heap_captures; }
+
+// --- slab pool ----------------------------------------------------------------
+
+void* SlabPool::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxBlock) {
+    ++stats_.misses;
+    ++stats_.live;
+    return ::operator new(bytes);
+  }
+  const int c = class_of(bytes);
+  if (void* p = free_[c]) {
+    free_[c] = *static_cast<void**>(p);
+    ++stats_.hits;
+    ++stats_.live;
+    return p;
+  }
+  // Refill the class with a chunk; blocks in a chunk are never individually
+  // freed to the OS, only threaded back onto the freelist.
+  const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
+  auto* chunk = static_cast<std::uint8_t*>(::operator new(block * kChunkBlocks));
+  ++stats_.misses;
+  for (int i = 1; i < kChunkBlocks; ++i) {
+    void* b = chunk + static_cast<std::size_t>(i) * block;
+    *static_cast<void**>(b) = free_[c];
+    free_[c] = b;
+  }
+  ++stats_.live;
+  return chunk;
+}
+
+void SlabPool::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  --stats_.live;
+  if (bytes > kMaxBlock) {
+    ::operator delete(p);
+    return;
+  }
+  ++stats_.recycled;
+  const int c = class_of(bytes);
+  if (g_poison) {
+    const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
+    std::memset(p, kPoisonByte, block);
+  }
+  *static_cast<void**>(p) = free_[c];
+  free_[c] = p;
+}
+
+SlabPool& slab_pool() {
+  static auto* pool = [] {
+    auto* p = new SlabPool;
+    register_pool_stats("mem/slab", &p->stats());
+    return p;
+  }();
+  return *pool;
+}
+
+// --- buffer pool --------------------------------------------------------------
+
+int BufferPool::class_for_request(std::size_t n) {
+  std::size_t cap = kBaseCapacity;
+  for (int c = 0; c < kClasses; ++c, cap *= 2) {
+    if (n <= cap) return c;
+  }
+  return kClasses;  // oversized: pooled node, unclassed capacity
+}
+
+int BufferPool::class_for_capacity(std::size_t n) {
+  if (n < kBaseCapacity) return -1;  // too small to guarantee any class
+  std::size_t cap = kBaseCapacity;
+  int fit = 0;
+  for (int c = 1; c < kClasses; ++c) {
+    cap *= 2;
+    if (cap > n) break;
+    fit = c;
+  }
+  return fit;
+}
+
+BufferPool::Handle BufferPool::wrap(Node* n) {
+  ++stats_.live;
+  // Deleter + slab-backed control block: steady-state acquire/release does
+  // not touch operator new.
+  return Handle(&n->bytes, Recycler{this}, SlabAllocator<Bytes>{});
+}
+
+BufferPool::Handle BufferPool::acquire(std::size_t capacity_hint) {
+  ScopedAllocTag tag(AllocTag::kBuffer);
+  const int c = class_for_request(capacity_hint);
+  if (c < kClasses && !free_[c].empty()) {
+    Node* n = free_[c].back();
+    free_[c].pop_back();
+    ++stats_.hits;
+    return wrap(n);
+  }
+  ++stats_.misses;
+  auto* n = new Node;
+  std::size_t cap = kBaseCapacity;
+  for (int i = 0; i < c && i < kClasses; ++i) cap *= 2;
+  n->bytes.reserve(std::max(capacity_hint, cap));
+  return wrap(n);
+}
+
+BufferPool::Handle BufferPool::adopt(Bytes&& bytes) {
+  ScopedAllocTag tag(AllocTag::kBuffer);
+  Node* n;
+  // Reuse a freelist node header if one is idle in the smallest class; its
+  // old storage is replaced by the adopted storage via move-assign.
+  int donor = -1;
+  for (int c = 0; c < kClasses; ++c) {
+    if (!free_[c].empty()) {
+      donor = c;
+      break;
+    }
+  }
+  if (donor >= 0) {
+    n = free_[donor].back();
+    free_[donor].pop_back();
+    n->bytes = std::move(bytes);
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    n = new Node;
+    n->bytes = std::move(bytes);
+  }
+  return wrap(n);
+}
+
+void BufferPool::recycle(Bytes* b) noexcept {
+  --stats_.live;
+  ++stats_.recycled;
+  stats_.recycled_bytes += b->capacity();
+  if (g_poison && !b->empty()) {
+    std::memset(b->data(), kPoisonByte, b->size());
+  }
+  b->clear();
+  const int c = class_for_capacity(b->capacity());
+  // Node is standard-layout with bytes as its only member.
+  Node* n = reinterpret_cast<Node*>(b);
+  if (c < 0) {
+    // Tiny capacity: keep the node, drop the guarantee by parking it in
+    // class 0 after reserving the base capacity (still amortized: happens
+    // once per node).
+    b->reserve(kBaseCapacity);
+    free_[0].push_back(n);
+    return;
+  }
+  free_[c].push_back(n);
+}
+
+BufferPool& buffer_pool() {
+  static auto* pool = [] {
+    auto* p = new BufferPool;
+    register_pool_stats("mem/buffer", &p->stats());
+    return p;
+  }();
+  return *pool;
+}
+
+}  // namespace asp::mem

@@ -1,0 +1,402 @@
+// Pooled-buffer & arena memory subsystem: the per-packet fast path must not
+// touch the general-purpose allocator.
+//
+// Line-rate packet processors (P4 targets, kernel ASPs like the paper's
+// Solaris module) reach "as fast as the hardware allows" by recycling every
+// per-packet object through freelists sized at install time. This library
+// supplies the building blocks the rest of the tree threads through its
+// allocation sites:
+//
+//   SlabPool / SlabAllocator   size-classed raw blocks; backs the shared_ptr
+//                              control blocks of pooled handles.
+//   BufferPool                 recycles the byte vectors behind net::Buffer;
+//                              the shared_ptr deleter returns storage (with
+//                              its capacity) to a size-classed freelist when
+//                              the last Payload / blob Value lets go.
+//   VecPool<T>                 same discipline for std::vector<T> (PLAN-P
+//                              tuple storage), keeping element capacity.
+//   BoxPool<T>                 single-object boxes (in-flight Packets) so
+//                              event callbacks capture one pointer instead of
+//                              a 150-byte struct.
+//   FrameArena<T>              per-engine, depth-indexed execution frames
+//                              (locals / stack / args) reused packet to
+//                              packet.
+//
+// Cross-cutting facilities:
+//   AllocTag / ScopedAllocTag  thread-local attribution of heap allocations
+//                              to a subsystem, so bench_fastpath can report
+//                              allocs/packet per source (buffer / tuple /
+//                              frame / event / other) instead of one
+//                              aggregate.
+//   poison-on-free             debug mode (ASP_MEM_POISON=1 or set_poison)
+//                              that scribbles recycled memory so a
+//                              use-after-recycle surfaces as loud garbage
+//                              instead of silently reading stale bytes.
+//
+// All pools are process-lifetime leaked singletons: recycling deleters can
+// run during static destruction (e.g. the shared empty payload buffer), so
+// the pools they point at must never be destroyed. The simulator is
+// single-threaded; none of the freelists take locks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+namespace asp::mem {
+
+// --- allocation attribution ---------------------------------------------------
+
+/// Which subsystem the current heap allocation (if any) belongs to. The
+/// pools set this around their refill paths; bench_fastpath's replaced
+/// operator new reads it to attribute every allocation.
+enum class AllocTag : std::uint8_t {
+  kOther = 0,
+  kBuffer,  // payload / blob byte storage
+  kTuple,   // PLAN-P tuple storage
+  kFrame,   // interpreter / VM / JIT execution frames
+  kEvent,   // event-queue callbacks (oversized captures)
+  kCount,
+};
+
+AllocTag current_alloc_tag();
+void set_alloc_tag(AllocTag t);
+
+/// RAII attribution scope. Nested scopes override (innermost wins), so a
+/// tuple-pool refill inside a channel body still counts as kTuple.
+class ScopedAllocTag {
+ public:
+  explicit ScopedAllocTag(AllocTag t) : prev_(current_alloc_tag()) { set_alloc_tag(t); }
+  ~ScopedAllocTag() { set_alloc_tag(prev_); }
+  ScopedAllocTag(const ScopedAllocTag&) = delete;
+  ScopedAllocTag& operator=(const ScopedAllocTag&) = delete;
+
+ private:
+  AllocTag prev_;
+};
+
+// --- poison-on-free -----------------------------------------------------------
+
+/// When enabled, recycled byte storage is filled with kPoisonByte and
+/// recycled Value slots with kPoisonInt before going back on a freelist, so
+/// any still-live reference into recycled memory reads a loud sentinel.
+/// Initialized from the ASP_MEM_POISON environment variable.
+bool poison_enabled();
+void set_poison(bool on);
+
+inline constexpr std::uint8_t kPoisonByte = 0xA5;
+inline constexpr std::int64_t kPoisonInt = 0x504F4953;  // "POIS"
+
+// --- pool statistics ----------------------------------------------------------
+
+/// Counters every pool keeps internally (plain fields, not obs instruments:
+/// recycling deleters may run during static destruction, after the metrics
+/// registry is gone). publish_metrics() snapshots them into obs::registry().
+struct PoolStats {
+  std::uint64_t hits = 0;            // acquisitions served from a freelist
+  std::uint64_t misses = 0;          // acquisitions that hit operator new
+  std::uint64_t recycled = 0;        // objects returned to a freelist
+  std::uint64_t recycled_bytes = 0;  // capacity of recycled byte storage
+  std::uint64_t live = 0;            // currently checked-out objects
+};
+
+/// Registers a pool's stats under `name` (e.g. "mem/buffer") for
+/// publish_metrics(). The pointer must stay valid for the process lifetime
+/// (all pools are leaked singletons, so it does).
+void register_pool_stats(const std::string& name, const PoolStats* stats);
+
+/// Copies every registered pool's counters into obs::registry() as gauges
+/// (mem/<pool>/{hits,misses,recycled,recycled_bytes,live}), plus
+/// mem/event/heap_captures. Benches call this right before exporting JSON.
+void publish_metrics();
+
+/// Oversized event-callback captures that fell back to the heap (see
+/// SmallFn in smallfn.hpp). Kept here so pool.cpp owns all counters.
+void note_heap_capture(std::size_t bytes);
+std::uint64_t heap_capture_count();
+
+// --- slab pool ----------------------------------------------------------------
+
+/// Size-classed freelist allocator for small raw blocks (shared_ptr control
+/// blocks, pooled box headers). Blocks are carved from chunked operator-new
+/// refills and never returned to the OS; a free block's first word links the
+/// freelist. Requests above kMaxBlock fall through to operator new.
+class SlabPool {
+ public:
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kMaxBlock = 512;
+  static constexpr int kChunkBlocks = 64;
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kClasses = static_cast<int>(kMaxBlock / kAlign);
+  static int class_of(std::size_t bytes) {
+    return static_cast<int>((bytes + kAlign - 1) / kAlign) - 1;
+  }
+
+  void* free_[kClasses] = {};
+  PoolStats stats_;
+};
+
+/// The process-wide slab pool (leaked singleton).
+SlabPool& slab_pool();
+
+/// std::allocator-shaped adaptor over slab_pool(), used to put shared_ptr
+/// control blocks of pooled handles on freelists.
+template <typename T>
+struct SlabAllocator {
+  using value_type = T;
+  SlabAllocator() noexcept = default;
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>&) noexcept {}  // NOLINT: converting
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(slab_pool().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    slab_pool().deallocate(p, n * sizeof(T));
+  }
+  friend bool operator==(SlabAllocator, SlabAllocator) { return true; }
+  friend bool operator!=(SlabAllocator, SlabAllocator) { return false; }
+};
+
+// --- buffer pool --------------------------------------------------------------
+
+/// Recycles the `std::vector<std::uint8_t>` storage behind net::Buffer.
+/// acquire() hands out a shared vector whose deleter returns the node (with
+/// its capacity intact) to a capacity-classed freelist once the last
+/// reference — Payload, blob Value, or aliased packet — drops. The returned
+/// shared_ptr's control block comes from the slab pool, so a steady-state
+/// acquire/release cycle performs zero heap allocations.
+class BufferPool {
+ public:
+  using Bytes = std::vector<std::uint8_t>;
+  using Handle = std::shared_ptr<Bytes>;
+
+  /// Empty vector with capacity >= `capacity_hint` (rounded to a class).
+  Handle acquire(std::size_t capacity_hint);
+
+  /// Wraps caller-built storage in a pooled handle: the vector's storage is
+  /// adopted as-is (no copy); on release the node joins the freelist and the
+  /// adopted capacity is recycled for future acquires.
+  Handle adopt(Bytes&& bytes);
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kBaseCapacity = 64;
+  static constexpr int kClasses = 16;  // 64 B ... 2 MiB
+
+  struct Node {
+    Bytes bytes;
+  };
+  struct Recycler {
+    BufferPool* pool;
+    void operator()(Bytes* b) const noexcept { pool->recycle(b); }
+  };
+
+  // Smallest class whose guaranteed capacity covers `n` (for acquire).
+  static int class_for_request(std::size_t n);
+  // Largest class whose guaranteed capacity is <= `n` (for recycling).
+  static int class_for_capacity(std::size_t n);
+
+  Handle wrap(Node* n);
+  void recycle(Bytes* b) noexcept;
+
+  std::vector<Node*> free_[kClasses];
+  PoolStats stats_;
+};
+
+/// The process-wide buffer pool (leaked singleton).
+BufferPool& buffer_pool();
+
+// --- generic vector pool ------------------------------------------------------
+
+/// BufferPool's discipline for std::vector<T>: pooled shared vectors whose
+/// element capacity survives recycling. Used for PLAN-P tuple storage
+/// (VecPool<Value>), where the per-packet decode tuples dominate.
+///
+/// PoisonFill is a customization point invoked on recycle when poison mode
+/// is on (before the vector is cleared), so stale references into recycled
+/// tuple storage read sentinels. The default does nothing.
+template <typename T>
+struct NoPoison {
+  void operator()(std::vector<T>&) const {}
+};
+
+template <typename T, typename PoisonFill = NoPoison<T>>
+class VecPool {
+ public:
+  using Vec = std::vector<T>;
+  using Handle = std::shared_ptr<Vec>;
+
+  VecPool(std::string name, AllocTag tag) : tag_(tag) {
+    register_pool_stats(name, &stats_);
+  }
+  VecPool(const VecPool&) = delete;
+  VecPool& operator=(const VecPool&) = delete;
+
+  /// Empty vector, capacity from its previous life. `reserve_hint` is
+  /// honored on the (counted) miss path so steady-state pushes never grow.
+  Handle acquire(std::size_t reserve_hint) {
+    Node* n;
+    if (!free_.empty()) {
+      n = free_.back();
+      free_.pop_back();
+      ++stats_.hits;
+      if (n->vec.capacity() < reserve_hint) {
+        ScopedAllocTag tag(tag_);
+        n->vec.reserve(reserve_hint);
+      }
+    } else {
+      ScopedAllocTag tag(tag_);
+      ++stats_.misses;
+      n = new Node;
+      n->vec.reserve(reserve_hint);
+    }
+    ++stats_.live;
+    return Handle(&n->vec, Recycler{this}, SlabAllocator<Vec>{});
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    Vec vec;
+  };
+  struct Recycler {
+    VecPool* pool;
+    void operator()(Vec* v) const noexcept { pool->recycle(v); }
+  };
+
+  void recycle(Vec* v) noexcept {
+    if (poison_enabled()) PoisonFill{}(*v);
+    v->clear();  // destroys elements (releases their refs), keeps capacity
+    ++stats_.recycled;
+    --stats_.live;
+    // Node is standard-layout-compatible: vec is its first (only) member.
+    free_.push_back(reinterpret_cast<Node*>(v));
+  }
+
+  AllocTag tag_;
+  std::vector<Node*> free_;
+  PoolStats stats_;
+};
+
+// --- box pool -----------------------------------------------------------------
+
+/// Pools single objects of T behind a unique-owner handle whose deleter
+/// recycles the node. The point: an event callback capturing a Handle is
+/// pointer-sized, so moving a Packet into a box keeps the whole capture
+/// inside SmallFn's inline buffer. Recycling resets the object to T{} so
+/// held references (payload buffers) release promptly.
+template <typename T>
+class BoxPool {
+ public:
+  struct Recycler {
+    BoxPool* pool;
+    void operator()(T* t) const noexcept { pool->recycle(t); }
+  };
+  using Handle = std::unique_ptr<T, Recycler>;
+
+  BoxPool(std::string name, AllocTag tag) : tag_(tag) {
+    register_pool_stats(name, &stats_);
+  }
+  BoxPool(const BoxPool&) = delete;
+  BoxPool& operator=(const BoxPool&) = delete;
+
+  Handle box(T&& v) {
+    T* t;
+    if (!free_.empty()) {
+      t = free_.back();
+      free_.pop_back();
+      *t = std::move(v);
+      ++stats_.hits;
+    } else {
+      ScopedAllocTag tag(tag_);
+      ++stats_.misses;
+      t = new T(std::move(v));
+    }
+    ++stats_.live;
+    return Handle(t, Recycler{this});
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  void recycle(T* t) noexcept {
+    *t = T{};
+    ++stats_.recycled;
+    --stats_.live;
+    free_.push_back(t);
+  }
+
+  AllocTag tag_;
+  std::vector<T*> free_;
+  PoolStats stats_;
+};
+
+// --- frame arena --------------------------------------------------------------
+
+/// Depth-indexed execution frames for the PLAN-P engines: frame d serves
+/// call depth d, so the LIFO call discipline reuses the same locals / stack /
+/// args vectors (and their capacity) packet after packet instead of
+/// constructing fresh std::vectors per call. Frames are held by unique_ptr,
+/// so references handed out stay stable while deeper frames are created.
+template <typename T>
+class FrameArena {
+ public:
+  struct Frame {
+    std::vector<T> locals;
+    std::vector<T> stack;
+    std::vector<T> args;
+  };
+
+  FrameArena() = default;
+  explicit FrameArena(std::string name) { register_pool_stats(name, &stats_); }
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  Frame& at_depth(std::size_t d) {
+    if (d >= frames_.size()) grow(d);
+    ++stats_.hits;
+    return *frames_[d];
+  }
+
+  std::size_t depth() const { return frames_.size(); }
+
+  /// Poison support: overwrite every slot of frame `d` with `sentinel` so a
+  /// later read of a stale slot is unmistakable. Called by the engines after
+  /// a channel body finishes when poison mode is on.
+  void scribble(std::size_t d, const T& sentinel) {
+    if (d >= frames_.size()) return;
+    Frame& f = *frames_[d];
+    std::fill(f.locals.begin(), f.locals.end(), sentinel);
+    std::fill(f.stack.begin(), f.stack.end(), sentinel);
+    std::fill(f.args.begin(), f.args.end(), sentinel);
+  }
+
+  const PoolStats& stats() const { return stats_; }
+
+ private:
+  void grow(std::size_t d) {
+    ScopedAllocTag tag(AllocTag::kFrame);
+    while (frames_.size() <= d) {
+      frames_.push_back(std::make_unique<Frame>());
+      ++stats_.misses;
+    }
+  }
+
+  std::vector<std::unique_ptr<Frame>> frames_;
+  PoolStats stats_;
+};
+
+}  // namespace asp::mem

@@ -1,0 +1,136 @@
+// SmallFn: a move-only std::function<void()> replacement with a 64-byte
+// inline buffer.
+//
+// Why not std::function: libstdc++'s small-object optimization only applies
+// to trivially-copyable targets of <= 16 bytes, so every event callback that
+// captures a shared_ptr — let alone a whole Packet — heap-allocates at
+// schedule time. The event queue is on the per-packet path, so EventQueue
+// stores SmallFn<64> instead: any capture up to 64 bytes (a this-pointer,
+// two shared_ptrs, and a pooled box handle fit comfortably) lives inline in
+// the queue entry. Larger captures still work via a counted heap fallback
+// (mem::note_heap_capture), which bench_fastpath surfaces so an oversized
+// capture is a visible regression, not a silent slowdown.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "mem/pool.hpp"
+
+namespace asp::mem {
+
+template <std::size_t N = 64>
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = N;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT: converting, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "SmallFn target must be callable as void()");
+    if constexpr (sizeof(Fn) <= N && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      // Oversized (or throwing-move) capture: box it on the heap and count
+      // it — the fast path should never take this branch.
+      note_heap_capture(sizeof(Fn));
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(this); }
+
+  /// True when the target lives in the inline buffer (test hook).
+  bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(SmallFn*);
+    void (*move)(SmallFn* dst, SmallFn* src) noexcept;
+    void (*destroy)(SmallFn*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static const Ops inline_ops;
+  template <typename Fn>
+  static const Ops heap_ops;
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(this, &o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  Fn* inline_target() noexcept {
+    return std::launder(reinterpret_cast<Fn*>(buf_));
+  }
+
+  const Ops* ops_ = nullptr;
+  union {
+    alignas(std::max_align_t) unsigned char buf_[N];
+    void* heap_;
+  };
+};
+
+template <std::size_t N>
+template <typename Fn>
+const typename SmallFn<N>::Ops SmallFn<N>::inline_ops = {
+    /*invoke=*/[](SmallFn* s) { (*s->template inline_target<Fn>())(); },
+    /*move=*/
+    [](SmallFn* dst, SmallFn* src) noexcept {
+      ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*src->template inline_target<Fn>()));
+      src->template inline_target<Fn>()->~Fn();
+    },
+    /*destroy=*/[](SmallFn* s) noexcept { s->template inline_target<Fn>()->~Fn(); },
+    /*inline_storage=*/true,
+};
+
+template <std::size_t N>
+template <typename Fn>
+const typename SmallFn<N>::Ops SmallFn<N>::heap_ops = {
+    /*invoke=*/[](SmallFn* s) { (*static_cast<Fn*>(s->heap_))(); },
+    /*move=*/
+    [](SmallFn* dst, SmallFn* src) noexcept {
+      dst->heap_ = src->heap_;
+      src->heap_ = nullptr;
+    },
+    /*destroy=*/[](SmallFn* s) noexcept { delete static_cast<Fn*>(s->heap_); },
+    /*inline_storage=*/false,
+};
+
+}  // namespace asp::mem

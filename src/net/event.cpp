@@ -4,7 +4,7 @@
 
 namespace asp::net {
 
-EventId EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+EventId EventQueue::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
   EventId id = next_id_++;
   queue_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
@@ -13,7 +13,10 @@ EventId EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
 
 bool EventQueue::pop_one() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
+    // Entries are move-only (SmallFn); top() is const&, but popping
+    // immediately after makes the move-out safe — the moved-from entry never
+    // participates in another heap comparison.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
     if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
       cancelled_.erase(it);

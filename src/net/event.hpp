@@ -2,11 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "mem/smallfn.hpp"
 #include "net/time.hpp"
 
 namespace asp::net {
@@ -14,15 +14,20 @@ namespace asp::net {
 /// Identifies a scheduled event so it can be cancelled.
 using EventId = std::uint64_t;
 
+/// Event callback type: move-only, with a 64-byte inline capture buffer (see
+/// mem/smallfn.hpp). Callbacks on the packet path must fit inline — see the
+/// capture budget note on EventQueue::Entry.
+using EventFn = mem::SmallFn<64>;
+
 /// A priority queue of timestamped callbacks. Events at equal times run in
 /// scheduling order (FIFO), which keeps simulations deterministic.
 class EventQueue {
  public:
   /// Schedules `fn` to run at absolute time `t` (>= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_at(SimTime t, EventFn fn);
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+  EventId schedule_in(SimTime delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -46,10 +51,17 @@ class EventQueue {
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
  private:
+  // Capture budget: `fn` stores its capture inline up to EventFn::kInlineBytes
+  // (64 bytes — a `this` pointer plus several shared_ptrs, or a pooled
+  // Packet box handle, all fit). Anything larger silently falls back to a
+  // heap allocation per scheduled event, which bench_fastpath surfaces as
+  // mem/event/heap_captures. When a callback needs a Packet, move it into
+  // net::packet_boxes() and capture the pointer-sized box handle instead of
+  // the ~150-byte Packet (see medium.cpp / node.cpp).
   struct Entry {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -71,14 +71,17 @@ void Medium::apply_corruption(Packet& p) {
 }
 
 void PointToPointLink::schedule_delivery(Interface* to, Packet&& p, SimTime arrival) {
-  events_.schedule_at(arrival, [this, to, p = std::move(p)]() mutable {
+  // The in-flight Packet rides in a pooled box so the capture (this, to,
+  // box handle) stays within the EventFn inline budget — a direct
+  // `p = std::move(p)` capture would heap-allocate per frame.
+  events_.schedule_at(arrival, [this, to, box = packet_boxes().box(std::move(p))]() mutable {
     if (!link_up_) {  // partition started while the frame was in flight
       count_drop_down();
       return;
     }
-    note_delivered(p);
+    note_delivered(*box);
     Interface& in = *to;
-    in.node()->receive(std::move(p), in);
+    in.node()->receive(std::move(*box), in);
   });
 }
 
@@ -121,12 +124,12 @@ void PointToPointLink::transmit(Interface& from, Packet p) {
 
 void EthernetSegment::schedule_delivery(const Interface* from, Packet&& p,
                                         SimTime arrival) {
-  events_.schedule_at(arrival, [this, from, p = std::move(p)]() mutable {
+  events_.schedule_at(arrival, [this, from, box = packet_boxes().box(std::move(p))]() mutable {
     if (!link_up_) {
       count_drop_down();
       return;
     }
-    deliver(*from, std::move(p));
+    deliver(*from, std::move(*box));
   });
 }
 

@@ -141,8 +141,10 @@ void Node::forward(Packet p) {
 void Node::send_ip(Packet p) {
   if (p.id == 0) p.id = next_packet_id();
   if (owns(p.ip.dst)) {
-    // Loopback.
-    events_.schedule_in(0, [this, p = std::move(p)]() mutable { deliver_local(std::move(p)); });
+    // Loopback. Boxed so the capture fits the EventFn inline buffer.
+    events_.schedule_in(0, [this, box = packet_boxes().box(std::move(p))]() mutable {
+      deliver_local(std::move(*box));
+    });
     return;
   }
   forward(std::move(p));

@@ -6,8 +6,13 @@ namespace asp::net {
 
 Buffer make_buffer(std::vector<std::uint8_t> bytes) {
   // Allocated non-const (the Buffer alias adds the const): Payload::mutate()
-  // may cast it away again once it proves the buffer is unshared.
-  return std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+  // may cast it away again once it proves the buffer is unshared. The pool
+  // adopts the storage, so release recycles it instead of freeing it.
+  return mem::buffer_pool().adopt(std::move(bytes));
+}
+
+Buffer acquire_buffer(std::size_t capacity_hint) {
+  return mem::buffer_pool().acquire(capacity_hint);
 }
 
 const Buffer& Payload::empty_buffer() {
@@ -18,7 +23,12 @@ const Buffer& Payload::empty_buffer() {
 std::vector<std::uint8_t>& Payload::mutate() {
   // use_count covers both other Payloads and blob Values aliasing the bytes;
   // the shared empty buffer always has extra refs, so it is never written.
-  if (buf_.use_count() != 1) buf_ = make_buffer(*buf_);
+  if (buf_.use_count() != 1) {
+    // Clone into a pooled buffer (freelist storage, no heap in steady state).
+    auto clone = mem::buffer_pool().acquire(buf_->size());
+    clone->assign(buf_->begin(), buf_->end());
+    buf_ = std::move(clone);
+  }
   return const_cast<std::vector<std::uint8_t>&>(*buf_);
 }
 
@@ -79,6 +89,12 @@ Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload) {
   p.ip.proto = IpProto::kRaw;
   p.payload = std::move(payload);
   return p;
+}
+
+mem::BoxPool<Packet>& packet_boxes() {
+  // Leaked: recycling deleters may run during static destruction.
+  static auto* pool = new mem::BoxPool<Packet>("mem/packet_box", mem::AllocTag::kEvent);
+  return *pool;
 }
 
 std::vector<std::uint8_t> bytes_of(const std::string& s) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/pool.hpp"
 #include "net/addr.hpp"
 
 namespace asp::net {
@@ -28,8 +29,16 @@ using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
 
 /// Wraps bytes in a Buffer. All buffers in the system are created through
 /// here (or alias one that was): the pointee is allocated non-const, which is
-/// what makes Payload's clone-on-write const_cast well-defined.
+/// what makes Payload's clone-on-write const_cast well-defined. The storage
+/// is adopted into mem::buffer_pool(), so when the last reference (Payload,
+/// blob Value, aliased packet) drops, the vector — capacity and all — goes
+/// back on a freelist instead of to the allocator.
 Buffer make_buffer(std::vector<std::uint8_t> bytes);
+
+/// An empty pooled buffer with capacity >= `capacity_hint`: the zero-copy way
+/// to build a payload (fill via mutate()/const_cast at the producer). Served
+/// from the pool's freelist in steady state.
+Buffer acquire_buffer(std::size_t capacity_hint);
 
 /// A copy-on-write byte sequence. Copies alias; `mutate()` clones the bytes
 /// iff the buffer is shared. The read API mirrors the std::vector subset the
@@ -181,6 +190,11 @@ struct Packet {
                          Payload payload);
   static Packet make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload);
 };
+
+/// Pool of in-flight Packet boxes: media move a Packet into a box so their
+/// delivery callbacks capture a pointer-sized handle (fits SmallFn's inline
+/// buffer) instead of a ~150-byte Packet. Boxes recycle on delivery.
+mem::BoxPool<Packet>& packet_boxes();
 
 /// Builds a payload from a string (for control messages).
 std::vector<std::uint8_t> bytes_of(const std::string& s);

@@ -251,11 +251,23 @@ CompiledProgram compile(const CheckedProgram& prog) { return Compiler(prog).run(
 
 // --- VM ----------------------------------------------------------------------
 
+namespace {
+/// Bumps the engine's call depth for one scope; exception-safe.
+struct DepthGuard {
+  std::size_t& d;
+  explicit DepthGuard(std::size_t& depth) : d(depth) { ++d; }
+  ~DepthGuard() { --d; }
+};
+}  // namespace
+
 VmEngine::VmEngine(const CompiledProgram& prog, EnvApi& env) : prog_(prog), env_(env) {
   globals_.reserve(prog_.global_inits.size());
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
   for (const CodeBlock& b : prog_.global_inits) {
-    std::vector<Value> locals(static_cast<std::size_t>(b.frame_slots));
-    globals_.push_back(run_block(b, locals));
+    fr.locals.clear();
+    fr.locals.resize(static_cast<std::size_t>(b.frame_slots));
+    globals_.push_back(run_block(b, fr));
   }
 }
 
@@ -265,18 +277,29 @@ Value VmEngine::init_state(int chan_idx) {
     return default_value(
         prog_.source->channels.at(static_cast<std::size_t>(chan_idx))->ss_type);
   }
-  std::vector<Value> locals(static_cast<std::size_t>(b.frame_slots));
-  return run_block(b, locals);
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
+  fr.locals.clear();
+  fr.locals.resize(static_cast<std::size_t>(b.frame_slots));
+  return run_block(b, fr);
 }
 
 Value VmEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
                             const Value& packet) {
   const CodeBlock& b = prog_.channel_bodies.at(static_cast<std::size_t>(chan_idx));
-  std::vector<Value> locals(static_cast<std::size_t>(std::max(b.frame_slots, 3)));
-  locals[0] = ps;
-  locals[1] = ss;
-  locals[2] = packet;
-  return run_block(b, locals);
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
+  fr.locals.clear();
+  fr.locals.resize(static_cast<std::size_t>(std::max(b.frame_slots, 3)));
+  fr.locals[0] = ps;
+  fr.locals[1] = ss;
+  fr.locals[2] = packet;
+  Value out = run_block(b, fr);
+  if (mem::poison_enabled()) {
+    const Value sentinel = Value::of_int(mem::kPoisonInt);
+    for (std::size_t d = 0; d < arena_.depth(); ++d) arena_.scribble(d, sentinel);
+  }
+  return out;
 }
 
 namespace {
@@ -325,9 +348,14 @@ void run_binop(BinCode code, std::vector<Value>& stack) {
 
 }  // namespace
 
-Value VmEngine::run_block(const CodeBlock& block, std::vector<Value>& locals) {
-  std::vector<Value> stack;
-  stack.reserve(static_cast<std::size_t>(block.max_stack));
+Value VmEngine::run_block(const CodeBlock& block, mem::FrameArena<Value>::Frame& fr) {
+  std::vector<Value>& locals = fr.locals;
+  std::vector<Value>& stack = fr.stack;
+  stack.clear();
+  if (stack.capacity() < static_cast<std::size_t>(block.max_stack)) {
+    mem::ScopedAllocTag tag(mem::AllocTag::kFrame);
+    stack.reserve(static_cast<std::size_t>(block.max_stack));
+  }
   struct TryFrame {
     std::int32_t handler_pc;
     std::size_t stack_depth;
@@ -377,38 +405,56 @@ Value VmEngine::run_block(const CodeBlock& block, std::vector<Value>& locals) {
             break;
           case Op::kMakeTuple: {
             std::size_t n = static_cast<std::size_t>(in.a);
-            std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
-                                     stack.end());
-            stack.resize(stack.size() - n);
-            stack.push_back(Value::of_tuple(std::move(elems)));
+            if (n == 2) {
+              // Scalar pairs go inline in the Value; others use pooled rep.
+              Value second = std::move(stack.back());
+              stack.pop_back();
+              Value first = std::move(stack.back());
+              stack.pop_back();
+              stack.push_back(Value::of_pair(std::move(first), std::move(second)));
+            } else {
+              TupleRep t = Value::make_tuple_storage(n);
+              t->assign(std::make_move_iterator(stack.end() - static_cast<std::ptrdiff_t>(n)),
+                        std::make_move_iterator(stack.end()));
+              stack.resize(stack.size() - n);
+              stack.push_back(Value::of_tuple_rep(std::move(t)));
+            }
             break;
           }
           case Op::kProj: {
             Value t = std::move(stack.back());
             stack.pop_back();
-            stack.push_back(t.as_tuple()[static_cast<std::size_t>(in.a)]);
+            stack.push_back(t.tuple_at(static_cast<std::size_t>(in.a)));
             break;
           }
           case Op::kCallPrim: {
             std::size_t n = static_cast<std::size_t>(in.b);
-            std::vector<Value> args(stack.end() - static_cast<std::ptrdiff_t>(n),
-                                    stack.end());
+            // Arguments are staged into the callee arena frame's args vector
+            // (warm capacity, no allocation); depth is bumped in case the
+            // primitive re-enters the engine.
+            auto& callee = arena_.at_depth(depth_);
+            DepthGuard g(depth_);
+            callee.args.assign(
+                std::make_move_iterator(stack.end() - static_cast<std::ptrdiff_t>(n)),
+                std::make_move_iterator(stack.end()));
             stack.resize(stack.size() - n);
-            stack.push_back(
-                Primitives::instance().at(in.a).fn(env_, args));
+            stack.push_back(Primitives::instance().at(in.a).fn(env_, callee.args));
             break;
           }
           case Op::kCallFun: {
             std::size_t n = static_cast<std::size_t>(in.b);
             const CodeBlock& fb = prog_.functions[static_cast<std::size_t>(in.a)];
-            std::vector<Value> flocals(
+            auto& callee = arena_.at_depth(depth_);
+            DepthGuard g(depth_);
+            callee.locals.clear();
+            callee.locals.resize(
                 static_cast<std::size_t>(std::max<int>(fb.frame_slots,
                                                        static_cast<int>(n))));
             for (std::size_t i = 0; i < n; ++i) {
-              flocals[n - 1 - i] = std::move(stack.back());
+              callee.locals[n - 1 - i] = std::move(stack.back());
               stack.pop_back();
             }
-            stack.push_back(run_block(fb, flocals));
+            stack.push_back(run_block(fb, callee));
             break;
           }
           case Op::kBinOp:

@@ -82,11 +82,16 @@ class VmEngine : public Engine {
   const char* engine_name() const override { return "bytecode"; }
 
  private:
-  Value run_block(const CodeBlock& block, std::vector<Value>& locals);
+  /// Executes `block` in arena frame `fr`: fr.locals must be prepared by the
+  /// caller; fr.stack is the operand stack (cleared here). Frames come from
+  /// the depth-indexed arena, so steady-state calls allocate nothing.
+  Value run_block(const CodeBlock& block, mem::FrameArena<Value>::Frame& fr);
 
   const CompiledProgram& prog_;
   EnvApi& env_;
   std::vector<Value> globals_;
+  mem::FrameArena<Value> arena_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace asp::planp

@@ -2,11 +2,23 @@
 
 namespace asp::planp {
 
+namespace {
+/// Bumps the engine's call depth for one scope; exception-safe (PLAN-P
+/// `raise` unwinds through eval).
+struct DepthGuard {
+  std::size_t& d;
+  explicit DepthGuard(std::size_t& depth) : d(depth) { ++d; }
+  ~DepthGuard() { --d; }
+};
+}  // namespace
+
 Interp::Interp(const CheckedProgram& prog, EnvApi& env) : prog_(prog), env_(env) {
   globals_.reserve(prog_.globals.size());
-  Frame f;
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
   for (const ValDef* v : prog_.globals) {
-    f.slots.clear();
+    fr.locals.clear();
+    Frame f{fr.locals};
     globals_.push_back(eval(*v->init, f));
   }
 }
@@ -14,31 +26,50 @@ Interp::Interp(const CheckedProgram& prog, EnvApi& env) : prog_(prog), env_(env)
 Value Interp::init_state(int chan_idx) {
   const ChannelDef& c = *prog_.channels.at(static_cast<std::size_t>(chan_idx));
   if (c.init_state == nullptr) return default_value(c.ss_type);
-  Frame f;
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
+  fr.locals.clear();
+  Frame f{fr.locals};
   return eval(*c.init_state, f);
 }
 
 Value Interp::run_channel(int chan_idx, const Value& ps, const Value& ss,
                           const Value& packet) {
   const ChannelDef& c = *prog_.channels.at(static_cast<std::size_t>(chan_idx));
-  Frame f;
-  f.slots.resize(static_cast<std::size_t>(c.frame_slots));
-  f.slots[0] = ps;
-  f.slots[1] = ss;
-  f.slots[2] = packet;
-  return eval(*c.body, f);
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
+  fr.locals.clear();
+  fr.locals.resize(static_cast<std::size_t>(c.frame_slots));
+  fr.locals[0] = ps;
+  fr.locals[1] = ss;
+  fr.locals[2] = packet;
+  Frame f{fr.locals};
+  Value out = eval(*c.body, f);
+  if (mem::poison_enabled()) {
+    // Any reference still pointing into a frame now reads the sentinel; the
+    // differential fuzz suite runs with this on to catch use-after-reuse.
+    const Value sentinel = Value::of_int(mem::kPoisonInt);
+    for (std::size_t d = 0; d < arena_.depth(); ++d) arena_.scribble(d, sentinel);
+  }
+  return out;
 }
 
 Value Interp::eval_expr(const Expr& e) {
-  Frame f;
-  f.slots.resize(64);  // generous scratch space for test expressions
+  auto& fr = arena_.at_depth(depth_);
+  DepthGuard g(depth_);
+  fr.locals.clear();
+  fr.locals.resize(64);  // generous scratch space for test expressions
+  Frame f{fr.locals};
   return eval(e, f);
 }
 
-Value Interp::call_function(const FunDef& fun, std::vector<Value> args) {
-  Frame f;
-  f.slots.resize(static_cast<std::size_t>(fun.frame_slots));
-  for (std::size_t i = 0; i < args.size(); ++i) f.slots[i] = std::move(args[i]);
+Value Interp::call_function(const FunDef& fun, mem::FrameArena<Value>::Frame& fr) {
+  // The arguments were staged into fr.args by the caller (kCall); move them
+  // into the leading local slots.
+  fr.locals.clear();
+  fr.locals.resize(static_cast<std::size_t>(fun.frame_slots));
+  for (std::size_t i = 0; i < fr.args.size(); ++i) fr.locals[i] = std::move(fr.args[i]);
+  Frame f{fr.locals};
   return eval(*fun.body, f);
 }
 
@@ -77,25 +108,34 @@ Value Interp::eval(const Expr& e, Frame& f) {
     }
 
     case K::kTuple: {
-      std::vector<Value> elems;
-      elems.reserve(e.args.size());
-      for (const auto& a : e.args) elems.push_back(eval(*a, f));
-      return Value::of_tuple(std::move(elems));
+      if (e.args.size() == 2) {
+        // Pairs dominate; scalar pairs are stored inline (zero-alloc).
+        Value a = eval(*e.args[0], f);
+        Value b = eval(*e.args[1], f);
+        return Value::of_pair(std::move(a), std::move(b));
+      }
+      TupleRep t = Value::make_tuple_storage(e.args.size());
+      for (const auto& a : e.args) t->push_back(eval(*a, f));
+      return Value::of_tuple_rep(std::move(t));
     }
 
     case K::kProj:
-      return eval(*e.args[0], f).as_tuple()[static_cast<std::size_t>(e.proj_index - 1)];
+      return eval(*e.args[0], f).tuple_at(static_cast<std::size_t>(e.proj_index - 1));
 
     case K::kCall: {
-      std::vector<Value> args;
-      args.reserve(e.args.size());
-      for (const auto& a : e.args) args.push_back(eval(*a, f));
+      // Stage arguments directly in the callee's arena frame. The depth is
+      // bumped for the whole call, so nested kCalls inside the argument
+      // expressions stage one level deeper and cannot stomp this frame.
+      auto& callee = arena_.at_depth(depth_);
+      DepthGuard g(depth_);
+      callee.args.clear();
+      for (const auto& a : e.args) callee.args.push_back(eval(*a, f));
       if (is_primitive_call(e.call_target)) {
-        return Primitives::instance().at(e.call_target).fn(env_, args);
+        return Primitives::instance().at(e.call_target).fn(env_, callee.args);
       }
       const FunDef& fun =
           *prog_.functions[static_cast<std::size_t>(user_fun_index(e.call_target))];
-      return call_function(fun, std::move(args));
+      return call_function(fun, callee);
     }
 
     case K::kBinOp: {

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "mem/pool.hpp"
 #include "planp/primitives.hpp"
 #include "planp/typecheck.hpp"
 #include "planp/value.hpp"
@@ -52,16 +53,21 @@ class Interp : public Engine {
   const Value& global(int idx) const { return globals_.at(static_cast<std::size_t>(idx)); }
 
  private:
+  /// A view of the current call's slot vector. The storage itself lives in
+  /// the depth-indexed FrameArena and is reused call after call — entering a
+  /// call costs a clear+resize of a warm vector, not an allocation.
   struct Frame {
-    std::vector<Value> slots;
+    std::vector<Value>& slots;
   };
 
   Value eval(const Expr& e, Frame& f);
-  Value call_function(const FunDef& fun, std::vector<Value> args);
+  Value call_function(const FunDef& fun, mem::FrameArena<Value>::Frame& fr);
 
   const CheckedProgram& prog_;
   EnvApi& env_;
   std::vector<Value> globals_;
+  mem::FrameArena<Value> arena_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace asp::planp

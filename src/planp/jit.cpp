@@ -220,7 +220,7 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
   // and the handlers stay unpatched (the switch ignores them).
   {
     const void* const* table = nullptr;
-    Buffers probe;
+    Buffers& probe = buffer_at(0);
     JitBlock empty;
     run_block(empty, probe, &table);
     if (table != nullptr) {
@@ -254,10 +254,7 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
 }
 
 JitEngine::Buffers& JitEngine::buffer_at(int depth) {
-  while (depth >= static_cast<int>(pool_.size())) {
-    pool_.push_back(std::make_unique<Buffers>());
-  }
-  return *pool_[static_cast<std::size_t>(depth)];
+  return arena_.at_depth(static_cast<std::size_t>(depth));
 }
 
 Value JitEngine::init_state(int chan_idx) {
@@ -280,7 +277,12 @@ Value JitEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
   buf.locals[0] = ps;
   buf.locals[1] = ss;
   buf.locals[2] = packet;
-  return run_block(b, buf);
+  Value out = run_block(b, buf);
+  if (mem::poison_enabled()) {
+    const Value sentinel = Value::of_int(mem::kPoisonInt);
+    for (std::size_t d = 0; d < arena_.depth(); ++d) arena_.scribble(d, sentinel);
+  }
+  return out;
 }
 
 // Direct-threaded dispatch (GCC/Clang labels-as-values): every template
@@ -340,7 +342,10 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
   std::vector<Value>& locals = buf.locals;
   std::vector<Value>& stack = buf.stack;
   stack.clear();
-  stack.reserve(static_cast<std::size_t>(block.max_stack));
+  if (stack.capacity() < static_cast<std::size_t>(block.max_stack)) {
+    mem::ScopedAllocTag tag(mem::AllocTag::kFrame);
+    stack.reserve(static_cast<std::size_t>(block.max_stack));
+  }
   std::vector<Value>& scratch_args = buf.args;
   struct TryFrame {
     std::int32_t handler_pc;
@@ -392,16 +397,27 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
         VM_DISPATCH();
         VM_CASE(kMakeTuple) : {
           std::size_t n = static_cast<std::size_t>(in->a);
-          std::vector<Value> elems(stack.end() - static_cast<std::ptrdiff_t>(n),
-                                   stack.end());
-          stack.resize(stack.size() - n);
-          stack.push_back(Value::of_tuple(std::move(elems)));
+          if (n == 2) {
+            // Pairs dominate ASP tuples; scalar pairs store inline in the
+            // Value (no shared_ptr<vector>, no allocation).
+            Value second = std::move(stack.back());
+            stack.pop_back();
+            Value first = std::move(stack.back());
+            stack.pop_back();
+            stack.push_back(Value::of_pair(std::move(first), std::move(second)));
+          } else {
+            TupleRep t = Value::make_tuple_storage(n);
+            t->assign(std::make_move_iterator(stack.end() - static_cast<std::ptrdiff_t>(n)),
+                      std::make_move_iterator(stack.end()));
+            stack.resize(stack.size() - n);
+            stack.push_back(Value::of_tuple_rep(std::move(t)));
+          }
         }
         VM_DISPATCH();
         VM_CASE(kProj) : {
           Value t = std::move(stack.back());
           stack.pop_back();
-          stack.push_back(t.as_tuple()[static_cast<std::size_t>(in->a)]);
+          stack.push_back(t.tuple_at(static_cast<std::size_t>(in->a)));
         }
         VM_DISPATCH();
         VM_CASE(kCallPrim) : {
@@ -512,14 +528,14 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
         // --- superinstructions --------------------------------------------------
         VM_CASE(kProjLocal) : stack.push_back(
             locals[static_cast<std::size_t>(in->a)]
-                .as_tuple()[static_cast<std::size_t>(in->b)]);
+                .tuple_at(static_cast<std::size_t>(in->b)));
         VM_DISPATCH();
         VM_CASE(kMoveField) : {
           int field = in->b & 0xFFFF;
           int dst = in->b >> 16;
           locals[static_cast<std::size_t>(dst)] =
               locals[static_cast<std::size_t>(in->a)]
-                  .as_tuple()[static_cast<std::size_t>(field)];
+                  .tuple_at(static_cast<std::size_t>(field));
         }
         VM_DISPATCH();
         VM_CASE(kCallPrim1L) : {

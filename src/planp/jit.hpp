@@ -119,13 +119,11 @@ class JitEngine : public Engine {
   const CodegenStats& codegen_stats() const { return stats_; }
 
  private:
-  /// Per-call-depth buffer pool: avoids allocating fresh locals/stack vectors
-  /// on every packet (part of what run-time specialization buys the paper).
-  struct Buffers {
-    std::vector<Value> locals;
-    std::vector<Value> stack;
-    std::vector<Value> args;
-  };
+  /// Per-call-depth execution frames (locals/stack/args) on a shared arena:
+  /// warm vectors reused packet after packet, no per-call allocation (part of
+  /// what run-time specialization buys the paper). The arena exports
+  /// mem/jit_frames/* pool metrics and supports poison scribbling.
+  using Buffers = mem::FrameArena<Value>::Frame;
 
   /// Executes one specialized block. With `table_out` non-null the call is a
   /// pure query: it writes the handler label table (indexed by jop, or null
@@ -141,7 +139,7 @@ class JitEngine : public Engine {
   std::vector<JitBlock> functions_;
   std::vector<JitBlock> channel_bodies_;
   std::vector<JitBlock> channel_inits_;
-  std::vector<std::unique_ptr<Buffers>> pool_;
+  mem::FrameArena<Value> arena_;
   int depth_ = 0;
   CodegenStats stats_;
 };

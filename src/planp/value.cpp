@@ -1,8 +1,113 @@
 #include "planp/value.hpp"
 
+#include "mem/pool.hpp"
+
 namespace asp::planp {
 
+namespace {
+
+/// On recycle under poison mode, scribble sentinel ints over the slots so a
+/// stale reference into recycled tuple storage reads "POIS" instead of a
+/// plausible value.
+struct TuplePoison {
+  void operator()(std::vector<Value>& v) const {
+    for (Value& e : v) e = Value::of_int(mem::kPoisonInt);
+  }
+};
+
+using TuplePool = mem::VecPool<Value, TuplePoison>;
+
+TuplePool& tuple_pool() {
+  // Leaked: tuple handles (e.g. in static test fixtures) may recycle during
+  // static destruction.
+  static auto* pool = new TuplePool("mem/tuple", mem::AllocTag::kTuple);
+  return *pool;
+}
+
+/// Rehydrate a Scalar slot as a full Value (no heap — all alternatives are
+/// by-value reps).
+Value from_scalar(const Scalar& s) {
+  return std::visit([](const auto& x) { return Value{Value::Rep{x}}; }, s);
+}
+
+/// The Scalar for a Value, or nullopt if its shape doesn't fit inline.
+std::optional<Scalar> to_scalar(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::optional<Scalar> {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, UnitVal> || std::is_same_v<T, std::int64_t> ||
+                      std::is_same_v<T, bool> || std::is_same_v<T, char> ||
+                      std::is_same_v<T, asp::net::Ipv4Addr>) {
+          return Scalar{x};
+        } else {
+          return std::nullopt;
+        }
+      },
+      v.rep());
+}
+
+}  // namespace
+
+Value Value::of_tuple(std::vector<Value> elems) {
+  // Adopt the caller's storage into a pooled node: the vector itself joins
+  // the freelist (and recycles its capacity) when the last reference drops.
+  TupleRep t = tuple_pool().acquire(0);
+  *t = std::move(elems);
+  return of_tuple_rep(std::move(t));
+}
+
+Value Value::of_pair(Value a, Value b) {
+  if (auto sa = to_scalar(a)) {
+    if (auto sb = to_scalar(b)) {
+      return Value{Rep{ScalarPair{std::move(*sa), std::move(*sb)}}};
+    }
+  }
+  TupleRep t = make_tuple_storage(2);
+  t->push_back(std::move(a));
+  t->push_back(std::move(b));
+  return of_tuple_rep(std::move(t));
+}
+
+TupleRep Value::make_tuple_storage(std::size_t n) { return tuple_pool().acquire(n); }
+
+const std::vector<Value>& Value::as_tuple() const {
+  if (const TupleRep* t = std::get_if<TupleRep>(&rep_)) return **t;
+  if (const ScalarPair* p = std::get_if<ScalarPair>(&rep_)) {
+    // Lazy promotion to the vector rep; logically const (observable tuple
+    // value is unchanged), same discipline as the mutable hash_cache_.
+    TupleRep t = make_tuple_storage(2);
+    t->push_back(from_scalar(p->first));
+    t->push_back(from_scalar(p->second));
+    const_cast<Value*>(this)->rep_ = Rep{std::move(t)};
+    return *std::get<TupleRep>(rep_);
+  }
+  throw EvalBug{"value is not a tuple"};
+}
+
+std::size_t Value::tuple_size() const {
+  if (const TupleRep* t = std::get_if<TupleRep>(&rep_)) return (*t)->size();
+  if (std::holds_alternative<ScalarPair>(rep_)) return 2;
+  throw EvalBug{"value is not a tuple"};
+}
+
+Value Value::tuple_at(std::size_t i) const {
+  if (const TupleRep* t = std::get_if<TupleRep>(&rep_)) return (**t)[i];
+  if (const ScalarPair* p = std::get_if<ScalarPair>(&rep_)) {
+    return from_scalar(i == 0 ? p->first : p->second);
+  }
+  throw EvalBug{"value is not a tuple"};
+}
+
 bool Value::equals(const Value& o) const {
+  // Cross-rep tuple equality: an inline ScalarPair and a TupleRep holding
+  // the same elements are the same tuple.
+  if (rep_.index() != o.rep_.index() && is_tuple() && o.is_tuple()) {
+    if (tuple_size() != o.tuple_size()) return false;
+    for (std::size_t i = 0; i < tuple_size(); ++i) {
+      if (!tuple_at(i).equals(o.tuple_at(i))) return false;
+    }
+    return true;
+  }
   if (rep_.index() != o.rep_.index()) return false;
   return std::visit(
       [&o](const auto& a) -> bool {
@@ -36,6 +141,8 @@ bool Value::equals(const Value& o) const {
           return a == b;  // identity
         } else if constexpr (std::is_same_v<T, ChanVal>) {
           return a == b;
+        } else if constexpr (std::is_same_v<T, ScalarPair>) {
+          return a.first == b.first && a.second == b.second;
         }
       },
       rep_);
@@ -85,6 +192,13 @@ std::size_t Value::hash_uncached() const {
           std::size_t h = 0xABCD;
           for (const Value& v : *a) h = mix(h, v.hash());
           return h;
+        } else if constexpr (std::is_same_v<T, ScalarPair>) {
+          // Must match the TupleRep chain exactly: cross-rep equal tuples
+          // are interchangeable as table keys.
+          std::size_t h = 0xABCD;
+          h = mix(h, from_scalar(a.first).hash());
+          h = mix(h, from_scalar(a.second).hash());
+          return h;
         } else {
           throw EvalBug{"value is not hashable"};
         }
@@ -127,6 +241,8 @@ std::string Value::str() const {
           return "<hash_table:" + std::to_string(a ? a->size() : 0) + ">";
         } else if constexpr (std::is_same_v<T, ChanVal>) {
           return "<chan " + a.name + ">";
+        } else if constexpr (std::is_same_v<T, ScalarPair>) {
+          return "(" + from_scalar(a.first).str() + ", " + from_scalar(a.second).str() + ")";
         }
       },
       rep_);

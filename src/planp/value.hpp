@@ -39,6 +39,21 @@ using Blob = asp::net::Buffer;
 using TupleRep = std::shared_ptr<std::vector<Value>>;
 using TableRef = std::shared_ptr<HashTable>;
 
+/// The scalar subset of Value shapes: representable without heap references,
+/// so a pair of them can live inline in a Value (see ScalarPair).
+using Scalar = std::variant<UnitVal, std::int64_t, bool, char, asp::net::Ipv4Addr>;
+
+/// Inline two-element tuple of scalars — no shared_ptr<vector>, no heap.
+/// Header/field pairs like (host, int) dominate ASP tuple traffic (connection
+/// table keys, (state, channel-state) results), so Value::of_pair stores them
+/// in place. Indistinguishable from an equivalent TupleRep tuple through
+/// equals()/hash()/str()/tuple_at(); as_tuple() promotes lazily when a caller
+/// really needs the vector view.
+struct ScalarPair {
+  Scalar first;
+  Scalar second;
+};
+
 /// PLAN-P exception, thrown by `raise` and by primitives (e.g. a table lookup
 /// miss raises "NotFound"). Caught by `try ... with`.
 struct PlanPException {
@@ -56,7 +71,7 @@ class Value {
   using Rep = std::variant<UnitVal, std::int64_t, bool, char, std::string,
                            asp::net::Ipv4Addr, Blob, asp::net::IpHeader,
                            asp::net::TcpHeader, asp::net::UdpHeader, TupleRep,
-                           TableRef, ChanVal>;
+                           TableRef, ChanVal, ScalarPair>;
 
   Value() : rep_(UnitVal{}) {}
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
@@ -74,9 +89,21 @@ class Value {
   static Value of_ip(asp::net::IpHeader h) { return Value{Rep{h}}; }
   static Value of_tcp(asp::net::TcpHeader h) { return Value{Rep{h}}; }
   static Value of_udp(asp::net::UdpHeader h) { return Value{Rep{h}}; }
-  static Value of_tuple(std::vector<Value> elems) {
-    return Value{Rep{std::make_shared<std::vector<Value>>(std::move(elems))}};
-  }
+  /// General tuple constructor: the element vector's storage is adopted into
+  /// the tuple pool, so it recycles when the last reference drops. Never
+  /// inlines — engines use of_pair on the hot path for that.
+  static Value of_tuple(std::vector<Value> elems);
+
+  /// Two-element tuple, stored inline (ScalarPair) when both elements are
+  /// scalars; falls back to a pooled TupleRep otherwise.
+  static Value of_pair(Value a, Value b);
+
+  /// Empty pooled tuple storage with capacity >= `n`: build a tuple without
+  /// touching the allocator by push_back into this, then of_tuple_rep. In
+  /// steady state the storage comes off the tuple pool's freelist.
+  static TupleRep make_tuple_storage(std::size_t n);
+  static Value of_tuple_rep(TupleRep t) { return Value{Rep{std::move(t)}}; }
+
   static Value of_table(TableRef t) { return Value{Rep{std::move(t)}}; }
   static Value of_chan(std::string name) { return Value{Rep{ChanVal{std::move(name)}}}; }
 
@@ -93,9 +120,20 @@ class Value {
   const asp::net::IpHeader& as_ip() const { return get<asp::net::IpHeader>("ip"); }
   const asp::net::TcpHeader& as_tcp() const { return get<asp::net::TcpHeader>("tcp"); }
   const asp::net::UdpHeader& as_udp() const { return get<asp::net::UdpHeader>("udp"); }
-  const std::vector<Value>& as_tuple() const { return *get<TupleRep>("tuple"); }
+  /// Vector view of a tuple. An inline ScalarPair is promoted to a pooled
+  /// TupleRep first (a logically-const rep change, like hash_cache_) — hot
+  /// paths should prefer tuple_size()/tuple_at(), which never promote.
+  const std::vector<Value>& as_tuple() const;
   const TableRef& as_table() const { return get<TableRef>("hash_table"); }
   const ChanVal& as_chan() const { return get<ChanVal>("chan"); }
+
+  /// Tuple accessors that work on both reps without promotion.
+  bool is_tuple() const {
+    return std::holds_alternative<TupleRep>(rep_) ||
+           std::holds_alternative<ScalarPair>(rep_);
+  }
+  std::size_t tuple_size() const;
+  Value tuple_at(std::size_t i) const;
 
   /// Structural equality for equality types; identity for tables.
   bool equals(const Value& o) const;

@@ -151,9 +151,10 @@ bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
       Value out = proto->engine().run_channel(static_cast<int>(i), protocol_state_,
                                               channel_states_[i], *decoded);
       if (generation_ == generation) {
-        const auto& pair = out.as_tuple();
-        protocol_state_ = pair[0];
-        channel_states_[i] = pair[1];
+        // tuple_at, not as_tuple(): the (ps, ss) result is usually an inline
+        // ScalarPair and must not be promoted to a heap tuple per packet.
+        protocol_state_ = out.tuple_at(0);
+        channel_states_[i] = out.tuple_at(1);
       }
       m_handled_->inc();
       if (i < channel_counters_.size()) channel_counters_[i]->inc();

@@ -81,21 +81,22 @@ void split_rest(asp::net::Packet& p, std::vector<std::uint8_t> rest) {
 
 std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& type) {
   const auto& parts = type->args();
-  std::vector<Value> fields;
-  fields.reserve(parts.size());
+  // Pooled tuple storage: in steady state the vector (and its capacity) comes
+  // off the tuple pool's freelist, so a decode allocates nothing.
+  planp::TupleRep fields = Value::make_tuple_storage(parts.size());
 
   std::size_t i = 0;
-  fields.push_back(Value::of_ip(p.ip));
+  fields->push_back(Value::of_ip(p.ip));
   ++i;
 
   bool transport_in_blob = false;
   if (i < parts.size() && parts[i]->is(Type::Kind::kTcp)) {
     if (p.ip.proto != asp::net::IpProto::kTcp || !p.tcp) return std::nullopt;
-    fields.push_back(Value::of_tcp(*p.tcp));
+    fields->push_back(Value::of_tcp(*p.tcp));
     ++i;
   } else if (i < parts.size() && parts[i]->is(Type::Kind::kUdp)) {
     if (p.ip.proto != asp::net::IpProto::kUdp || !p.udp) return std::nullopt;
-    fields.push_back(Value::of_udp(*p.udp));
+    fields->push_back(Value::of_udp(*p.udp));
     ++i;
   } else {
     // Header-only pattern (`ip*...`): accepts any protocol; the transport
@@ -117,13 +118,13 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
     switch (parts[i]->kind()) {
       case Type::Kind::kChar:
         if (off + 1 > rest.size()) return std::nullopt;
-        fields.push_back(Value::of_char(static_cast<char>(rest[off])));
+        fields->push_back(Value::of_char(static_cast<char>(rest[off])));
         off += 1;
         break;
       case Type::Kind::kBool:
         if (off + 1 > rest.size()) return std::nullopt;
         if (rest[off] > 1) return std::nullopt;  // strict bool encoding
-        fields.push_back(Value::of_bool(rest[off] != 0));
+        fields->push_back(Value::of_bool(rest[off] != 0));
         off += 1;
         break;
       case Type::Kind::kInt: {
@@ -131,7 +132,7 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
         std::int32_t v = static_cast<std::int32_t>(
             (std::uint32_t{rest[off]} << 24) | (std::uint32_t{rest[off + 1]} << 16) |
             (std::uint32_t{rest[off + 2]} << 8) | rest[off + 3]);
-        fields.push_back(Value::of_int(v));
+        fields->push_back(Value::of_int(v));
         off += 4;
         break;
       }
@@ -142,11 +143,11 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
         const std::size_t blob_off = off;
         off = rest.size();
         if (!transport_in_blob && blob_off == 0) {
-          fields.push_back(Value::of_blob_shared(p.payload.buffer()));
+          fields->push_back(Value::of_blob_shared(p.payload.buffer()));
         } else if (transport_in_blob && blob_off == 0) {
-          fields.push_back(Value::of_blob(std::move(scratch)));
+          fields->push_back(Value::of_blob(std::move(scratch)));
         } else {
-          fields.push_back(Value::of_blob(std::vector<std::uint8_t>(
+          fields->push_back(Value::of_blob(std::vector<std::uint8_t>(
               rest.begin() + static_cast<std::ptrdiff_t>(blob_off), rest.end())));
         }
         break;
@@ -155,7 +156,7 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
         return std::nullopt;
     }
   }
-  return Value::of_tuple(std::move(fields));
+  return Value::of_tuple_rep(std::move(fields));
 }
 
 asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {

@@ -1,0 +1,274 @@
+// The pooled-buffer & arena memory subsystem: recycling really reuses
+// storage, COW aliasing keeps shared bytes intact, poison-on-free scribbles
+// recycled memory, and the inline reps (ScalarPair, SmallFn) stay off the
+// heap while remaining observably identical to their boxed forms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/pool.hpp"
+#include "mem/smallfn.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "planp/value.hpp"
+
+namespace asp {
+namespace {
+
+using mem::PoolStats;
+using planp::Value;
+
+/// Poison mode is a process-global toggle shared with every other test in
+/// this binary; always restore it.
+struct PoisonGuard {
+  bool prev;
+  explicit PoisonGuard(bool on) : prev(mem::poison_enabled()) { mem::set_poison(on); }
+  ~PoisonGuard() { mem::set_poison(prev); }
+};
+
+// --- buffer pool --------------------------------------------------------------
+
+TEST(BufferPool, RecyclingReusesStorageAndCapacity) {
+  const PoolStats& st = mem::buffer_pool().stats();
+
+  auto first = mem::buffer_pool().acquire(1000);
+  first->assign(1000, 0x11);
+  const std::uint8_t* storage = first->data();
+  const std::size_t cap = first->capacity();
+  first.reset();  // recycles: capacity-classed freelist, not the allocator
+
+  std::uint64_t hits_before = st.hits;
+  auto second = mem::buffer_pool().acquire(1000);
+  EXPECT_EQ(st.hits, hits_before + 1) << "same-class acquire missed the freelist";
+  EXPECT_EQ(second->data(), storage) << "freelist did not hand back the node";
+  EXPECT_GE(second->capacity(), cap);
+  EXPECT_TRUE(second->empty()) << "recycled buffer not cleared";
+}
+
+TEST(BufferPool, AdoptTakesStorageWithoutCopying) {
+  std::vector<std::uint8_t> bytes(256, 0x2A);
+  const std::uint8_t* storage = bytes.data();
+  net::Buffer b = net::make_buffer(std::move(bytes));
+  EXPECT_EQ(b->data(), storage) << "make_buffer copied instead of adopting";
+  EXPECT_EQ(b->size(), 256u);
+}
+
+TEST(BufferPool, CowMutateClonesOnlyWhenShared) {
+  net::Payload p(std::vector<std::uint8_t>{1, 2, 3, 4});
+  net::Buffer alias = p.buffer();  // a blob Value or aliased packet
+  EXPECT_EQ(alias.use_count(), 2);
+
+  p.mutate()[0] = 9;  // shared -> must clone into a fresh pooled buffer
+  EXPECT_EQ((*alias)[0], 1) << "COW clone wrote through the alias";
+  EXPECT_EQ(p.bytes()[0], 9);
+  EXPECT_EQ(alias.use_count(), 1) << "payload still aliases the old buffer";
+
+  const std::uint8_t* unshared = p.bytes().data();
+  p.mutate()[1] = 8;  // sole owner -> must mutate in place
+  EXPECT_EQ(p.bytes().data(), unshared) << "unshared mutate cloned needlessly";
+}
+
+TEST(BufferPool, AliasKeepsRecycledBufferAlive) {
+  // The recycler must only run when the *last* reference drops: a blob Value
+  // aliasing a payload keeps the bytes valid after the packet dies.
+  net::Buffer alias;
+  {
+    net::Payload p(std::vector<std::uint8_t>{7, 7, 7});
+    alias = p.buffer();
+  }
+  ASSERT_EQ(alias.use_count(), 1);
+  EXPECT_EQ((*alias)[2], 7);
+}
+
+TEST(BufferPool, PoisonOnFreeScribblesRecycledBytes) {
+  PoisonGuard poison(true);
+  auto buf = mem::buffer_pool().acquire(128);
+  buf->assign(128, 0x11);
+  const std::uint8_t* storage = buf->data();
+  buf.reset();
+  // The node sits on the freelist; its storage is still mapped, and poison
+  // mode must have overwritten the stale contents.
+  EXPECT_EQ(storage[0], mem::kPoisonByte);
+  EXPECT_EQ(storage[127], mem::kPoisonByte);
+}
+
+// --- slab pool ----------------------------------------------------------------
+
+TEST(SlabPool, SameClassRoundTripReusesBlock) {
+  void* a = mem::slab_pool().allocate(64);
+  mem::slab_pool().deallocate(a, 64);
+  void* b = mem::slab_pool().allocate(64);
+  EXPECT_EQ(a, b) << "freed slab block was not first in line for reuse";
+  mem::slab_pool().deallocate(b, 64);
+}
+
+TEST(SlabPool, OversizedRequestsFallThrough) {
+  void* p = mem::slab_pool().allocate(mem::SlabPool::kMaxBlock + 1);
+  ASSERT_NE(p, nullptr);
+  mem::slab_pool().deallocate(p, mem::SlabPool::kMaxBlock + 1);
+}
+
+// --- tuple pool / Value reps --------------------------------------------------
+
+TEST(TuplePool, TupleStorageIsRecycled) {
+  // The engines' steady-state path: make_tuple_storage + push_back keeps the
+  // element capacity across recycles (of_tuple instead *adopts* the caller's
+  // vector, so its storage is whatever the caller built). LIFO freelist and
+  // a single-threaded test body make the reuse deterministic.
+  const Value* data_before;
+  {
+    planp::TupleRep t = Value::make_tuple_storage(3);
+    for (int i = 1; i <= 3; ++i) t->push_back(Value::of_int(i));
+    Value v = Value::of_tuple_rep(std::move(t));
+    data_before = v.as_tuple().data();
+  }
+  planp::TupleRep t2 = Value::make_tuple_storage(3);
+  EXPECT_EQ(t2->data(), data_before) << "tuple storage not recycled";
+  EXPECT_GE(t2->capacity(), 3u) << "recycled capacity lost";
+  EXPECT_TRUE(t2->empty());
+}
+
+TEST(TuplePool, RecycledTupleReleasesElementRefs) {
+  // Clearing on recycle must drop element references (a held blob would
+  // otherwise pin its buffer forever from the freelist).
+  net::Buffer alias;
+  {
+    net::Payload p(std::vector<std::uint8_t>{9, 9});
+    alias = p.buffer();
+    Value t = Value::of_tuple({Value::of_blob_shared(alias), Value::of_int(1)});
+    EXPECT_EQ(alias.use_count(), 3);  // payload + tuple element + alias
+  }
+  EXPECT_EQ(alias.use_count(), 1) << "recycled tuple still holds the blob";
+}
+
+TEST(ValueRep, ScalarPairStaysInline) {
+  Value p = Value::of_pair(Value::of_int(1), Value::of_bool(true));
+  EXPECT_TRUE(std::holds_alternative<planp::ScalarPair>(p.rep()));
+  EXPECT_TRUE(p.is_tuple());
+  EXPECT_EQ(p.tuple_size(), 2u);
+  EXPECT_EQ(p.tuple_at(0).as_int(), 1);
+  EXPECT_TRUE(p.tuple_at(1).as_bool());
+
+  // A non-scalar element forces the pooled rep.
+  Value q = Value::of_pair(Value::of_string("x"), Value::of_int(2));
+  EXPECT_TRUE(std::holds_alternative<planp::TupleRep>(q.rep()));
+}
+
+TEST(ValueRep, ScalarPairIndistinguishableFromHeapTuple) {
+  Value inline_pair = Value::of_pair(Value::of_int(42), Value::of_char('z'));
+  Value heap_pair = Value::of_tuple({Value::of_int(42), Value::of_char('z')});
+  ASSERT_TRUE(std::holds_alternative<planp::ScalarPair>(inline_pair.rep()));
+  ASSERT_TRUE(std::holds_alternative<planp::TupleRep>(heap_pair.rep()));
+
+  EXPECT_TRUE(inline_pair.equals(heap_pair));
+  EXPECT_TRUE(heap_pair.equals(inline_pair));
+  EXPECT_EQ(inline_pair.hash(), heap_pair.hash());
+  EXPECT_EQ(inline_pair.str(), heap_pair.str());
+}
+
+TEST(ValueRep, AsTuplePromotesScalarPairLazily) {
+  Value p = Value::of_pair(Value::of_int(3), Value::of_int(4));
+  ASSERT_TRUE(std::holds_alternative<planp::ScalarPair>(p.rep()));
+  const std::vector<Value>& vec = p.as_tuple();  // promotes
+  ASSERT_EQ(vec.size(), 2u);
+  EXPECT_EQ(vec[0].as_int(), 3);
+  EXPECT_TRUE(std::holds_alternative<planp::TupleRep>(p.rep()));
+  // Promotion must not change observable identity.
+  EXPECT_TRUE(p.equals(Value::of_pair(Value::of_int(3), Value::of_int(4))));
+}
+
+// --- box pool -----------------------------------------------------------------
+
+TEST(BoxPool, BoxedPacketRecyclesAndReleasesPayload) {
+  const PoolStats& st = net::packet_boxes().stats();
+
+  net::Buffer alias;
+  std::uint64_t live_before = st.live;
+  {
+    net::Packet p = net::Packet::make_udp(net::ip("10.0.0.1"), net::ip("10.0.0.2"),
+                                          1, 2, std::vector<std::uint8_t>(64, 0xEE));
+    alias = p.payload.buffer();
+    auto box = net::packet_boxes().box(std::move(p));
+    EXPECT_EQ(st.live, live_before + 1);
+    EXPECT_EQ(box->payload.size(), 64u);
+  }
+  EXPECT_EQ(st.live, live_before) << "box handle did not recycle";
+  // Recycling resets the node to Packet{}, so the payload buffer was let go.
+  EXPECT_EQ(alias.use_count(), 1) << "recycled box still pins the payload";
+
+  std::uint64_t hits_before = st.hits;
+  auto again = net::packet_boxes().box(net::Packet{});
+  EXPECT_EQ(st.hits, hits_before + 1) << "second box missed the freelist";
+}
+
+// --- frame arena --------------------------------------------------------------
+
+TEST(FrameArena, FrameAddressesSurviveGrowth) {
+  mem::FrameArena<int> arena;
+  auto& f0 = arena.at_depth(0);
+  f0.locals.assign({1, 2, 3});
+  int* data = f0.locals.data();
+  arena.at_depth(7);  // forces growth past depth 0
+  EXPECT_EQ(arena.depth(), 8u);
+  EXPECT_EQ(arena.at_depth(0).locals.data(), data)
+      << "growing the arena moved an outstanding frame";
+}
+
+TEST(FrameArena, ScribbleOverwritesEverySlot) {
+  mem::FrameArena<int> arena;
+  auto& f = arena.at_depth(0);
+  f.locals.assign({1, 2});
+  f.stack.assign({3});
+  f.args.assign({4, 5, 6});
+  arena.scribble(0, 99);
+  for (int v : f.locals) EXPECT_EQ(v, 99);
+  for (int v : f.stack) EXPECT_EQ(v, 99);
+  for (int v : f.args) EXPECT_EQ(v, 99);
+  arena.scribble(12, 99);  // beyond depth: must be a no-op, not a crash
+}
+
+// --- SmallFn ------------------------------------------------------------------
+
+TEST(SmallFn, SmallCapturesLiveInline) {
+  std::uint64_t heap_before = mem::heap_capture_count();
+  int hit = 0;
+  int* p = &hit;
+  mem::SmallFn<64> fn([p] { ++*p; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hit, 1);
+  EXPECT_EQ(mem::heap_capture_count(), heap_before) << "small capture went to heap";
+}
+
+TEST(SmallFn, OversizedCapturesFallBackToCountedHeap) {
+  std::uint64_t heap_before = mem::heap_capture_count();
+  struct Big {
+    char pad[128];
+  } big{};
+  big.pad[0] = 7;
+  int out = 0;
+  mem::SmallFn<64> fn([big, &out] { out = big.pad[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(mem::heap_capture_count(), heap_before + 1)
+      << "heap fallback not counted";
+  fn();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SmallFn, MoveTransfersTheTarget) {
+  auto counter = std::make_shared<int>(0);
+  mem::SmallFn<64> a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  mem::SmallFn<64> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(counter.use_count(), 2) << "move copied the capture";
+  b();
+  EXPECT_EQ(*counter, 1);
+  b = mem::SmallFn<64>([counter] { *counter += 10; });
+  b();
+  EXPECT_EQ(*counter, 11);
+}
+
+}  // namespace
+}  // namespace asp

@@ -3,10 +3,17 @@
 // including which PLAN-P exceptions they raise. This is the mechanized form
 // of the paper's claim that the JIT is *derived* from the interpreter and
 // therefore preserves its semantics.
+//
+// The same corpus also runs with mem pool poisoning on (ASP_MEM_POISON
+// semantics): recycled buffers/tuple slots/frames are scribbled with
+// sentinels between packets, so an engine holding a stale reference into
+// recycled pool memory diverges loudly instead of silently reading stale
+// bytes.
 #include <gtest/gtest.h>
 
 #include <random>
 
+#include "mem/pool.hpp"
 #include "planp/compile.hpp"
 #include "planp/interp.hpp"
 #include "planp/jit.hpp"
@@ -106,10 +113,8 @@ Outcome run_one(Engine& engine, std::int64_t ps) {
   return out;
 }
 
-class FuzzSeeds : public ::testing::TestWithParam<std::uint32_t> {};
-
-TEST_P(FuzzSeeds, EnginesAgreeOnRandomPrograms) {
-  ExprGen gen(GetParam());
+void check_engines_agree(std::uint32_t seed) {
+  ExprGen gen(seed);
   std::string body = gen.int_expr(5);
   std::string src =
       "channel c(ps : int, ss : unit, p : ip*blob) is\n"
@@ -139,7 +144,34 @@ TEST_P(FuzzSeeds, EnginesAgreeOnRandomPrograms) {
   }
 }
 
+class FuzzSeeds : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FuzzSeeds, EnginesAgreeOnRandomPrograms) { check_engines_agree(GetParam()); }
+
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, FuzzSeeds, ::testing::Range(0u, 40u));
+
+// The same corpus under poison-on-free: every recycled buffer, tuple slot and
+// execution frame is scribbled with sentinels between channel runs, so a
+// use-after-recycle in any engine shows up as a divergence (or a loud
+// sentinel value) rather than a silent right answer from stale memory.
+class PoisonedFuzzSeeds : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void SetUp() override {
+    prev_ = mem::poison_enabled();
+    mem::set_poison(true);
+  }
+  void TearDown() override { mem::set_poison(prev_); }
+
+ private:
+  bool prev_ = false;
+};
+
+TEST_P(PoisonedFuzzSeeds, EnginesAgreeWithPoolPoisoning) {
+  check_engines_agree(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(PoisonedPrograms, PoisonedFuzzSeeds,
+                         ::testing::Range(0u, 20u));
 
 }  // namespace
 }  // namespace asp::planp
