@@ -1,0 +1,137 @@
+// Parallel executor scaling: wall-clock time for the paper's two big
+// workloads — the §3.2 HTTP cluster (Figure 8 topology, 8 client machines =
+// 9 islands) and the §3.1 audio broadcast (2 islands) — run serial and at
+// 2/4/8 shards, with a determinism cross-check: every shard count must
+// produce exactly the serial request/frame counts, or the numbers are
+// meaningless.
+//
+// Speedup depends on the host: the windowed loop only helps when
+// hardware_concurrency > 1 (the JSON records it). On a single hardware
+// thread the sharded runs pay barrier overhead for no gain — that is the
+// honest expected result there, not a bug.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "apps/audio/experiment.hpp"
+#include "apps/http/experiment.hpp"
+#include "net/exec.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+double wall_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct HttpRun {
+  double ms = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t windows = 0, cross = 0;
+  int shards = 1;
+};
+
+HttpRun run_http(int shards) {
+  using namespace asp::apps;
+  HttpExperiment::Options opts;
+  opts.config = HttpConfig::kAspGateway;
+  opts.client_machines = 8;
+  opts.processes_per_machine = 4;
+  opts.trace_accesses = 10'000;
+  HttpExperiment exp(opts);
+
+  std::unique_ptr<asp::net::ParallelExecutor> exec;
+  if (shards > 1)
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+
+  auto t0 = std::chrono::steady_clock::now();
+  HttpRunResult r = exp.run(10.0);
+  HttpRun out;
+  out.ms = wall_ms(t0);
+  out.completed = r.completed;
+  if (exec) {
+    out.windows = exec->stats().windows;
+    out.cross = exec->stats().cross_messages;
+    out.shards = exec->shard_count();
+  }
+  return out;
+}
+
+struct AudioRun {
+  double ms = 0;
+  std::uint64_t received = 0;
+  int shards = 1;
+};
+
+AudioRun run_audio(int shards) {
+  using namespace asp::apps;
+  AudioExperiment exp(/*adaptation=*/true);
+  std::unique_ptr<asp::net::ParallelExecutor> exec;
+  if (shards > 1)
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+  auto t0 = std::chrono::steady_clock::now();
+  AudioRunResult r = exp.run(120.0, AudioExperiment::figure6_schedule());
+  AudioRun out;
+  out.ms = wall_ms(t0);
+  out.received = r.frames_received;
+  if (exec) out.shards = exec->shard_count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== Parallel executor scaling (hardware threads: %u) ===\n\n", hw);
+  asp::obs::registry().gauge("bench/parallel/hardware_concurrency").set(hw);
+
+  std::printf("HTTP cluster, 8 client machines (9 islands), 10 s sim:\n");
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "shards", "wall ms", "speedup",
+              "completed", "windows", "cross msg");
+  double base = 0;
+  std::uint64_t serial_completed = 0;
+  bool deterministic = true;
+  for (int s : {1, 2, 4, 8}) {
+    HttpRun r = run_http(s);
+    if (s == 1) {
+      base = r.ms;
+      serial_completed = r.completed;
+    }
+    deterministic = deterministic && r.completed == serial_completed;
+    double speedup = base / r.ms;
+    std::printf("%8d %10.1f %9.2fx %10llu %10llu %10llu\n", r.shards, r.ms, speedup,
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.windows),
+                static_cast<unsigned long long>(r.cross));
+    const std::string p = "bench/parallel/http/shards_" + std::to_string(s) + "/";
+    asp::obs::registry().gauge(p + "wall_ms").set(r.ms);
+    asp::obs::registry().gauge(p + "speedup").set(speedup);
+    asp::obs::registry().gauge(p + "completed").set(static_cast<double>(r.completed));
+  }
+
+  std::printf("\nAudio broadcast (2 islands), 120 s sim:\n");
+  std::printf("%8s %10s %10s %10s\n", "shards", "wall ms", "speedup", "frames rx");
+  double abase = 0;
+  std::uint64_t serial_rx = 0;
+  for (int s : {1, 2}) {
+    AudioRun r = run_audio(s);
+    if (s == 1) {
+      abase = r.ms;
+      serial_rx = r.received;
+    }
+    deterministic = deterministic && r.received == serial_rx;
+    double speedup = abase / r.ms;
+    std::printf("%8d %10.1f %9.2fx %10llu\n", r.shards, r.ms, speedup,
+                static_cast<unsigned long long>(r.received));
+    const std::string p = "bench/parallel/audio/shards_" + std::to_string(s) + "/";
+    asp::obs::registry().gauge(p + "wall_ms").set(r.ms);
+    asp::obs::registry().gauge(p + "speedup").set(speedup);
+  }
+
+  std::printf("\ndeterminism cross-check: %s\n",
+              deterministic ? "OK (all shard counts match serial)" : "FAILED");
+  asp::obs::registry().gauge("bench/parallel/deterministic").set(deterministic ? 1 : 0);
+  asp::obs::write_bench_json("parallel");
+  return deterministic ? 0 : 1;
+}

@@ -5,13 +5,31 @@
 // 16-bit stereo to 8-bit mono and back — with no change to the audio
 // source or player.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "apps/audio/experiment.hpp"
+#include "net/exec.hpp"
 
 using namespace asp::apps;
 
-int main() {
+// --shards=N runs the simulation on the sharded parallel executor (N capped
+// to the topology's 2 islands); results are bit-identical to --shards=1.
+static int parse_shards(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) return std::atoi(argv[i] + 9);
+  return 1;
+}
+
+int main(int argc, char** argv) {
+  int shards = parse_shards(argc, argv);
   AudioExperiment exp(/*adaptation=*/true);
+  std::unique_ptr<asp::net::ParallelExecutor> exec;
+  if (shards > 1) {
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+    std::printf("parallel executor: %d shard(s), %d island(s)\n", exec->shard_count(),
+                exec->island_count());
+  }
   std::vector<LoadStep> schedule = {
       {0.0, 0.0},     // quiet
       {15.0, 9.7e6},  // heavy competing traffic

@@ -4,12 +4,24 @@
 // clients talk to the virtual address, the ASP routes each connection to a
 // physical server and hides the cluster on the way back.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "apps/http/experiment.hpp"
+#include "net/exec.hpp"
 
 using namespace asp::apps;
 
-int main() {
+// --shards=N runs the simulation on the sharded parallel executor (each
+// client machine is its own island); results are bit-identical to --shards=1.
+static int parse_shards(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) return std::atoi(argv[i] + 9);
+  return 1;
+}
+
+int main(int argc, char** argv) {
+  int shards = parse_shards(argc, argv);
   HttpExperiment::Options opts;
   opts.config = HttpConfig::kAspGateway;
   opts.client_machines = 4;
@@ -17,6 +29,12 @@ int main() {
   opts.trace_accesses = 20'000;
 
   HttpExperiment exp(opts);
+  std::unique_ptr<asp::net::ParallelExecutor> exec;
+  if (shards > 1) {
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+    std::printf("parallel executor: %d shard(s), %d island(s)\n", exec->shard_count(),
+                exec->island_count());
+  }
   std::printf("running 15 s of trace replay against the virtual server...\n");
   HttpRunResult r = exp.run(15.0);
 

@@ -71,25 +71,29 @@ AudioRunResult AudioExperiment::run(double duration_sec,
   source_->start();
   client_->start();
   loadgen_->start();
+  // Each helper event is scheduled on the queue of the node whose state it
+  // touches, so a parallel run keeps them shard-local (client, load-gen and
+  // sink all share the client-lan island).
   for (const LoadStep& step : schedule) {
-    net_.events().schedule_at(seconds(step.at_sec),
-                              [this, r = step.rate_bps] { loadgen_->set_rate_bps(r); });
+    loadgen_node_->events().schedule_at(
+        seconds(step.at_sec), [this, r = step.rate_bps] { loadgen_->set_rate_bps(r); });
   }
 
   // Generator-rate meter for reporting.
   auto gen_meter = std::make_shared<asp::net::BandwidthMeter>(asp::net::kNsPerSec / 2);
   sink_node_->add_rx_tap(
       [this, gen_meter](const asp::net::Packet& p, const asp::net::Interface&) {
-        if (p.udp && p.udp->dport == 9) gen_meter->record(net_.now(), p.wire_size());
+        if (p.udp && p.udp->dport == 9)
+          gen_meter->record(sink_node_->events().now(), p.wire_size());
       });
 
   double t = sample_period_sec;
   while (t <= duration_sec + 1e-9) {
-    net_.events().schedule_at(seconds(t), [this, t, gen_meter, &result] {
+    client_node_->events().schedule_at(seconds(t), [this, t, gen_meter, &result] {
       result.series.push_back(AudioSample{
           t,
           client_->wire_rate_bps() / 1000.0,
-          gen_meter->rate_bps(net_.now()) / 1000.0,
+          gen_meter->rate_bps(client_node_->events().now()) / 1000.0,
           client_->last_level(),
       });
     });

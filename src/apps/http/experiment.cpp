@@ -80,8 +80,10 @@ void HttpExperiment::build() {
 }
 
 bool HttpExperiment::delay_and_forward(Packet& p) {
-  // Single forwarding core: packets queue behind gw_busy_until_.
-  SimTime now = net_.now();
+  // Single forwarding core: packets queue behind gw_busy_until_. All gateway
+  // state lives on the gateway's shard, so read that node's clock — under a
+  // parallel run net_.now() is shard 0's clock, not necessarily ours.
+  SimTime now = gateway_->events().now();
   SimTime cost = asp::net::micros(opts_.gateway_cost_us);
   SimTime start = gw_busy_until_ > now ? gw_busy_until_ : now;
   if (start - now > asp::net::millis(50)) return false;  // input queue full: drop
@@ -117,7 +119,8 @@ void HttpExperiment::install_asp_gateway() {
   gateway_->set_ip_hook([this](Packet& p, asp::net::Interface&) {
     if (!delay_and_forward(p)) return true;  // dropped at the gateway input
     // Boxed so the deferred Packet fits the EventFn inline capture budget.
-    net_.events().schedule_at(
+    // Scheduled on the gateway's own queue (shard-local under an executor).
+    gateway_->events().schedule_at(
         gw_busy_until_, [this, box = asp::net::packet_boxes().box(Packet(p))]() mutable {
           Packet& q = *box;
           if (!gw_rt_->inject(q)) {
@@ -140,8 +143,8 @@ void HttpExperiment::install_builtin_gateway() {
   gateway_->set_ip_hook([this, table, counter](Packet& p, asp::net::Interface&) {
     if (!delay_and_forward(p)) return true;
     // Boxed Packet + two shared_ptrs + this: 56 bytes, inside the EventFn
-    // inline capture budget.
-    net_.events().schedule_at(gw_busy_until_, [this, table, counter,
+    // inline capture budget. Gateway queue: shard-local under an executor.
+    gateway_->events().schedule_at(gw_busy_until_, [this, table, counter,
                                                box = asp::net::packet_boxes().box(
                                                    Packet(p))]() mutable {
       Packet& q = *box;

@@ -64,16 +64,22 @@ MpegExperiment::MpegExperiment(bool sharing, int clients, planp::EngineKind engi
 MpegExperiment::~MpegExperiment() = default;
 
 MpegRunResult MpegExperiment::run(double measure_at_sec) {
+  // Helper events run on the queue of the node whose state they touch, so a
+  // parallel run keeps them shard-local: play()/client sampling on the LAN
+  // shard, server sampling on the server's shard.
   for (int c = 0; c < nclients_; ++c) {
-    net_.events().schedule_at(seconds(0.1 + 0.3 * c),
-                              [this, c] { clients_[static_cast<std::size_t>(c)]->play("movie.mpg"); });
+    client_nodes_[static_cast<std::size_t>(c)]->events().schedule_at(
+        seconds(0.1 + 0.3 * c),
+        [this, c] { clients_[static_cast<std::size_t>(c)]->play("movie.mpg"); });
   }
 
   MpegRunResult r;
   r.clients = nclients_;
-  net_.events().schedule_at(seconds(measure_at_sec), [this, &r] {
+  server_node_->events().schedule_at(seconds(measure_at_sec), [this, &r] {
     r.server_streams = server_->active_streams();
     r.server_egress_mbps = server_->egress_bps() / 1e6;
+  });
+  monitor_node_->events().schedule_at(seconds(measure_at_sec), [this, &r] {
     double lo = 1e18, hi = 0;
     for (auto& c : clients_) {
       if (c->playing()) ++r.clients_playing;

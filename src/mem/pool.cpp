@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -24,11 +25,13 @@ bool poison_from_env() {
   const char* v = std::getenv("ASP_MEM_POISON");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
-bool g_poison = poison_from_env();
+// Atomic because shard threads read it on every recycle while a test on the
+// main thread may flip it (always between runs, but TSAN can't know that).
+std::atomic<bool> g_poison{poison_from_env()};
 }  // namespace
 
-bool poison_enabled() { return g_poison; }
-void set_poison(bool on) { g_poison = on; }
+bool poison_enabled() { return g_poison.load(std::memory_order_relaxed); }
+void set_poison(bool on) { g_poison.store(on, std::memory_order_relaxed); }
 
 // --- stats registry -----------------------------------------------------------
 
@@ -44,28 +47,34 @@ std::vector<StatsEntry>& stats_list() {
   static auto* list = new std::vector<StatsEntry>;
   return *list;
 }
+std::mutex& stats_list_mu() {
+  static auto* mu = new std::mutex;
+  return *mu;
+}
 
-std::uint64_t g_heap_captures = 0;
-std::uint64_t g_heap_capture_bytes = 0;
+obs::RelaxedU64 g_heap_captures;
+obs::RelaxedU64 g_heap_capture_bytes;
 }  // namespace
 
 void register_pool_stats(const std::string& name, const PoolStats* stats) {
+  std::lock_guard<std::mutex> lock(stats_list_mu());
   stats_list().push_back({name, stats});
 }
 
 void publish_metrics() {
   auto& reg = obs::registry();
+  std::lock_guard<std::mutex> lock(stats_list_mu());
   for (const auto& e : stats_list()) {
-    reg.gauge(e.name + "/hits").set(static_cast<double>(e.stats->hits));
-    reg.gauge(e.name + "/misses").set(static_cast<double>(e.stats->misses));
-    reg.gauge(e.name + "/recycled").set(static_cast<double>(e.stats->recycled));
+    reg.gauge(e.name + "/hits").set(static_cast<double>(e.stats->hits.load()));
+    reg.gauge(e.name + "/misses").set(static_cast<double>(e.stats->misses.load()));
+    reg.gauge(e.name + "/recycled").set(static_cast<double>(e.stats->recycled.load()));
     reg.gauge(e.name + "/recycled_bytes")
-        .set(static_cast<double>(e.stats->recycled_bytes));
-    reg.gauge(e.name + "/live").set(static_cast<double>(e.stats->live));
+        .set(static_cast<double>(e.stats->recycled_bytes.load()));
+    reg.gauge(e.name + "/live").set(static_cast<double>(e.stats->live.load()));
   }
-  reg.gauge("mem/event/heap_captures").set(static_cast<double>(g_heap_captures));
+  reg.gauge("mem/event/heap_captures").set(static_cast<double>(g_heap_captures.load()));
   reg.gauge("mem/event/heap_capture_bytes")
-      .set(static_cast<double>(g_heap_capture_bytes));
+      .set(static_cast<double>(g_heap_capture_bytes.load()));
 }
 
 void note_heap_capture(std::size_t bytes) {
@@ -73,9 +82,59 @@ void note_heap_capture(std::size_t bytes) {
   g_heap_capture_bytes += bytes;
 }
 
-std::uint64_t heap_capture_count() { return g_heap_captures; }
+std::uint64_t heap_capture_count() { return g_heap_captures.load(); }
 
 // --- slab pool ----------------------------------------------------------------
+
+// Per-thread magazines: intrusive per-class stacks, same first-word links as
+// the shared freelists, so blocks move between the two with pointer writes.
+struct SlabPool::ThreadCache {
+  SlabPool* owner = nullptr;
+  void* head[kClasses] = {};
+  int count[kClasses] = {};
+};
+
+thread_local SlabPool::ThreadCache* SlabPool::tls_ = nullptr;
+
+SlabPool::ThreadCache* SlabPool::thread_cache(bool create) {
+  ThreadCache* tc = tls_;
+  if (tc != nullptr) return tc->owner == this ? tc : nullptr;
+  if (!create) return nullptr;
+  struct Holder {
+    ThreadCache cache;
+    ~Holder() {
+      // Spill the magazine back to the shared slab and null the trivially
+      // destructible slot, so post-exit deallocations take the locked path
+      // instead of touching a dead cache.
+      if (cache.owner != nullptr) cache.owner->spill_all(cache);
+      tls_ = nullptr;
+    }
+  };
+  static thread_local Holder holder;
+  if (holder.cache.owner != nullptr && holder.cache.owner != this) {
+    return nullptr;  // a non-singleton instance lost the race for this thread
+  }
+  holder.cache.owner = this;
+  tls_ = &holder.cache;
+  return &holder.cache;
+}
+
+void SlabPool::spill_class(ThreadCache& tc, int c, int keep) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (tc.count[c] > keep) {
+    void* p = tc.head[c];
+    tc.head[c] = *static_cast<void**>(p);
+    --tc.count[c];
+    *static_cast<void**>(p) = free_[c];
+    free_[c] = p;
+  }
+}
+
+void SlabPool::spill_all(ThreadCache& tc) noexcept {
+  for (int c = 0; c < kClasses; ++c) {
+    if (tc.count[c] > 0) spill_class(tc, c, 0);
+  }
+}
 
 void* SlabPool::allocate(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
@@ -85,21 +144,59 @@ void* SlabPool::allocate(std::size_t bytes) {
     return ::operator new(bytes);
   }
   const int c = class_of(bytes);
-  if (void* p = free_[c]) {
-    free_[c] = *static_cast<void**>(p);
+  ThreadCache* tc = thread_cache(true);
+  if (tc != nullptr && tc->head[c] != nullptr) {
+    void* p = tc->head[c];
+    tc->head[c] = *static_cast<void**>(p);
+    --tc->count[c];
     ++stats_.hits;
     ++stats_.live;
     return p;
   }
-  // Refill the class with a chunk; blocks in a chunk are never individually
-  // freed to the OS, only threaded back onto the freelist.
+  return allocate_slow(c, tc);
+}
+
+void* SlabPool::allocate_slow(int c, ThreadCache* tc) {
   const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (void* p = free_[c]) {
+      // Serve from the shared slab and pull half a magazine with it.
+      free_[c] = *static_cast<void**>(p);
+      if (tc != nullptr) {
+        for (int i = 0; i < kMagazine / 2 && free_[c] != nullptr; ++i) {
+          void* q = free_[c];
+          free_[c] = *static_cast<void**>(q);
+          *static_cast<void**>(q) = tc->head[c];
+          tc->head[c] = q;
+          ++tc->count[c];
+        }
+      }
+      ++stats_.hits;
+      ++stats_.live;
+      return p;
+    }
+  }
+  // Refill the class with a chunk; blocks in a chunk are never individually
+  // freed to the OS, only threaded back onto a freelist. The surplus blocks
+  // charge this thread's magazine (the shared slab when cacheless).
   auto* chunk = static_cast<std::uint8_t*>(::operator new(block * kChunkBlocks));
   ++stats_.misses;
-  for (int i = 1; i < kChunkBlocks; ++i) {
-    void* b = chunk + static_cast<std::size_t>(i) * block;
-    *static_cast<void**>(b) = free_[c];
-    free_[c] = b;
+  if (tc != nullptr) {
+    for (int i = 1; i < kChunkBlocks; ++i) {
+      void* b = chunk + static_cast<std::size_t>(i) * block;
+      *static_cast<void**>(b) = tc->head[c];
+      tc->head[c] = b;
+      ++tc->count[c];
+    }
+    if (tc->count[c] > kMagazine) spill_class(*tc, c, kMagazine / 2);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 1; i < kChunkBlocks; ++i) {
+      void* b = chunk + static_cast<std::size_t>(i) * block;
+      *static_cast<void**>(b) = free_[c];
+      free_[c] = b;
+    }
   }
   ++stats_.live;
   return chunk;
@@ -115,10 +212,19 @@ void SlabPool::deallocate(void* p, std::size_t bytes) noexcept {
   }
   ++stats_.recycled;
   const int c = class_of(bytes);
-  if (g_poison) {
+  if (poison_enabled()) {
     const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
     std::memset(p, kPoisonByte, block);
   }
+  // Never *create* a cache on the free path (deleters can run during static
+  // destruction or on threads that only release).
+  if (ThreadCache* tc = thread_cache(false)) {
+    *static_cast<void**>(p) = tc->head[c];
+    tc->head[c] = p;
+    if (++tc->count[c] > kMagazine) spill_class(*tc, c, kMagazine / 2);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   *static_cast<void**>(p) = free_[c];
   free_[c] = p;
 }
@@ -133,6 +239,47 @@ SlabPool& slab_pool() {
 }
 
 // --- buffer pool --------------------------------------------------------------
+
+struct BufferPool::ThreadCache {
+  BufferPool* owner = nullptr;
+  std::vector<Node*> items[kClasses];
+};
+
+thread_local BufferPool::ThreadCache* BufferPool::tls_ = nullptr;
+
+BufferPool::ThreadCache* BufferPool::thread_cache(bool create) {
+  ThreadCache* tc = tls_;
+  if (tc != nullptr) return tc->owner == this ? tc : nullptr;
+  if (!create) return nullptr;
+  struct Holder {
+    ThreadCache cache;
+    ~Holder() {
+      if (cache.owner != nullptr) cache.owner->spill_all(cache);
+      tls_ = nullptr;
+    }
+  };
+  static thread_local Holder holder;
+  if (holder.cache.owner != nullptr && holder.cache.owner != this) {
+    return nullptr;
+  }
+  holder.cache.owner = this;
+  tls_ = &holder.cache;
+  return &holder.cache;
+}
+
+void BufferPool::spill_class(ThreadCache& tc, int c, std::size_t keep) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (tc.items[c].size() > keep) {
+    free_[c].push_back(tc.items[c].back());
+    tc.items[c].pop_back();
+  }
+}
+
+void BufferPool::spill_all(ThreadCache& tc) noexcept {
+  for (int c = 0; c < kClasses; ++c) {
+    if (!tc.items[c].empty()) spill_class(tc, c, 0);
+  }
+}
 
 int BufferPool::class_for_request(std::size_t n) {
   std::size_t cap = kBaseCapacity;
@@ -164,11 +311,30 @@ BufferPool::Handle BufferPool::wrap(Node* n) {
 BufferPool::Handle BufferPool::acquire(std::size_t capacity_hint) {
   ScopedAllocTag tag(AllocTag::kBuffer);
   const int c = class_for_request(capacity_hint);
-  if (c < kClasses && !free_[c].empty()) {
-    Node* n = free_[c].back();
-    free_[c].pop_back();
-    ++stats_.hits;
-    return wrap(n);
+  ThreadCache* tc = thread_cache(true);
+  if (c < kClasses) {
+    if (tc != nullptr && !tc->items[c].empty()) {
+      Node* n = tc->items[c].back();
+      tc->items[c].pop_back();
+      ++stats_.hits;
+      return wrap(n);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!free_[c].empty()) {
+      Node* n = free_[c].back();
+      free_[c].pop_back();
+      if (tc != nullptr) {  // pull half a magazine while we hold the lock
+        std::size_t batch = std::min(free_[c].size(),
+                                     static_cast<std::size_t>(kMagazine) / 2);
+        for (std::size_t i = 0; i < batch; ++i) {
+          tc->items[c].push_back(free_[c].back());
+          free_[c].pop_back();
+        }
+      }
+      lock.unlock();
+      ++stats_.hits;
+      return wrap(n);
+    }
   }
   ++stats_.misses;
   auto* n = new Node;
@@ -180,19 +346,29 @@ BufferPool::Handle BufferPool::acquire(std::size_t capacity_hint) {
 
 BufferPool::Handle BufferPool::adopt(Bytes&& bytes) {
   ScopedAllocTag tag(AllocTag::kBuffer);
-  Node* n;
+  Node* n = nullptr;
   // Reuse a freelist node header if one is idle in the smallest class; its
-  // old storage is replaced by the adopted storage via move-assign.
-  int donor = -1;
-  for (int c = 0; c < kClasses; ++c) {
-    if (!free_[c].empty()) {
-      donor = c;
-      break;
+  // old storage is replaced by the adopted storage via move-assign. This
+  // thread's magazine is searched first, then the shared slab.
+  if (ThreadCache* tc = thread_cache(true)) {
+    for (int c = 0; c < kClasses && n == nullptr; ++c) {
+      if (!tc->items[c].empty()) {
+        n = tc->items[c].back();
+        tc->items[c].pop_back();
+      }
     }
   }
-  if (donor >= 0) {
-    n = free_[donor].back();
-    free_[donor].pop_back();
+  if (n == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int c = 0; c < kClasses; ++c) {
+      if (!free_[c].empty()) {
+        n = free_[c].back();
+        free_[c].pop_back();
+        break;
+      }
+    }
+  }
+  if (n != nullptr) {
     n->bytes = std::move(bytes);
     ++stats_.hits;
   } else {
@@ -207,11 +383,11 @@ void BufferPool::recycle(Bytes* b) noexcept {
   --stats_.live;
   ++stats_.recycled;
   stats_.recycled_bytes += b->capacity();
-  if (g_poison && !b->empty()) {
+  if (poison_enabled() && !b->empty()) {
     std::memset(b->data(), kPoisonByte, b->size());
   }
   b->clear();
-  const int c = class_for_capacity(b->capacity());
+  int c = class_for_capacity(b->capacity());
   // Node is standard-layout with bytes as its only member.
   Node* n = reinterpret_cast<Node*>(b);
   if (c < 0) {
@@ -219,9 +395,18 @@ void BufferPool::recycle(Bytes* b) noexcept {
     // class 0 after reserving the base capacity (still amortized: happens
     // once per node).
     b->reserve(kBaseCapacity);
-    free_[0].push_back(n);
+    c = 0;
+  }
+  // Never *create* a cache on the free path (cross-shard releases during
+  // static destruction).
+  if (ThreadCache* tc = thread_cache(false)) {
+    tc->items[c].push_back(n);
+    if (tc->items[c].size() > static_cast<std::size_t>(kMagazine)) {
+      spill_class(*tc, c, static_cast<std::size_t>(kMagazine) / 2);
+    }
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   free_[c].push_back(n);
 }
 

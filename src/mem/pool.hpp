@@ -35,17 +35,38 @@
 //
 // All pools are process-lifetime leaked singletons: recycling deleters can
 // run during static destruction (e.g. the shared empty payload buffer), so
-// the pools they point at must never be destroyed. The simulator is
-// single-threaded; none of the freelists take locks.
+// the pools they point at must never be destroyed.
+//
+// Threading model (DESIGN.md §6f): the parallel executor runs one event loop
+// per shard, and pooled objects (payload buffers, control blocks, boxed
+// packets) may be *freed* on a different shard than the one that allocated
+// them (a packet crossing a shard boundary carries its buffer along). The
+// process-wide pools therefore grow csuperalloc-style thread-local caches:
+//
+//   * the fast path (acquire/recycle) touches only the calling thread's
+//     magazine — no lock, no shared cache line;
+//   * magazine overflow / underflow moves a half-magazine batch through the
+//     mutex-guarded shared spill slab (cold, amortized);
+//   * a thread's magazine spills back to the shared slab at thread exit, so
+//     short-lived executor workers don't strand capacity. Deleters that run
+//     after a thread's cache is gone (static destruction, post-exit frees)
+//     fall back to the locked shared slab directly.
+//
+// Pool statistics are relaxed atomics (obs::RelaxedU64): exact totals at
+// barriers, no synchronization on the hot path.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <string>
 #include <vector>
+
+#include "obs/relaxed.hpp"
 
 namespace asp::mem {
 
@@ -93,15 +114,17 @@ inline constexpr std::int64_t kPoisonInt = 0x504F4953;  // "POIS"
 
 // --- pool statistics ----------------------------------------------------------
 
-/// Counters every pool keeps internally (plain fields, not obs instruments:
+/// Counters every pool keeps internally (own cells, not obs instruments:
 /// recycling deleters may run during static destruction, after the metrics
 /// registry is gone). publish_metrics() snapshots them into obs::registry().
+/// The cells are relaxed atomics so any shard thread may bump them; totals
+/// are exact at window barriers (every update is a commutative add).
 struct PoolStats {
-  std::uint64_t hits = 0;            // acquisitions served from a freelist
-  std::uint64_t misses = 0;          // acquisitions that hit operator new
-  std::uint64_t recycled = 0;        // objects returned to a freelist
-  std::uint64_t recycled_bytes = 0;  // capacity of recycled byte storage
-  std::uint64_t live = 0;            // currently checked-out objects
+  obs::RelaxedU64 hits;            // acquisitions served from a freelist
+  obs::RelaxedU64 misses;          // acquisitions that hit operator new
+  obs::RelaxedU64 recycled;        // objects returned to a freelist
+  obs::RelaxedU64 recycled_bytes;  // capacity of recycled byte storage
+  obs::RelaxedU64 live;            // currently checked-out objects
 };
 
 /// Registers a pool's stats under `name` (e.g. "mem/buffer") for
@@ -125,11 +148,20 @@ std::uint64_t heap_capture_count();
 /// blocks, pooled box headers). Blocks are carved from chunked operator-new
 /// refills and never returned to the OS; a free block's first word links the
 /// freelist. Requests above kMaxBlock fall through to operator new.
+///
+/// Thread-safe: each thread keeps a private per-class magazine (linked stacks
+/// capped at kMagazine blocks); the shared per-class freelists behind `mu_`
+/// act as the spill slab. allocate/deallocate touch only the magazine on the
+/// steady path; refill and overflow move half-magazine batches under the
+/// lock. Blocks freed on a thread with no magazine (e.g. during static
+/// destruction, after the thread cache spilled) go straight to the shared
+/// slab.
 class SlabPool {
  public:
   static constexpr std::size_t kAlign = alignof(std::max_align_t);
   static constexpr std::size_t kMaxBlock = 512;
   static constexpr int kChunkBlocks = 64;
+  static constexpr int kMagazine = 64;  // per-thread, per-class cap
 
   void* allocate(std::size_t bytes);
   void deallocate(void* p, std::size_t bytes) noexcept;
@@ -142,6 +174,14 @@ class SlabPool {
     return static_cast<int>((bytes + kAlign - 1) / kAlign) - 1;
   }
 
+  struct ThreadCache;  // per-thread magazines (pool.cpp)
+  static thread_local ThreadCache* tls_;  // trivially destructible slot
+  ThreadCache* thread_cache(bool create);
+  void* allocate_slow(int c, ThreadCache* tc);
+  void spill_class(ThreadCache& tc, int c, int keep) noexcept;
+  void spill_all(ThreadCache& tc) noexcept;
+
+  std::mutex mu_;               // guards free_ (the shared spill slab)
   void* free_[kClasses] = {};
   PoolStats stats_;
 };
@@ -176,10 +216,17 @@ struct SlabAllocator {
 /// reference — Payload, blob Value, or aliased packet — drops. The returned
 /// shared_ptr's control block comes from the slab pool, so a steady-state
 /// acquire/release cycle performs zero heap allocations.
+///
+/// Thread-safe with the same magazine/spill-slab discipline as SlabPool: a
+/// packet's payload buffer may be acquired on one shard and released on
+/// another after crossing a shard boundary; the deleter pushes it onto the
+/// releasing thread's magazine (or the locked shared slab when that thread
+/// has no cache).
 class BufferPool {
  public:
   using Bytes = std::vector<std::uint8_t>;
   using Handle = std::shared_ptr<Bytes>;
+  static constexpr int kMagazine = 32;  // per-thread, per-class cap
 
   /// Empty vector with capacity >= `capacity_hint` (rounded to a class).
   Handle acquire(std::size_t capacity_hint);
@@ -208,9 +255,16 @@ class BufferPool {
   // Largest class whose guaranteed capacity is <= `n` (for recycling).
   static int class_for_capacity(std::size_t n);
 
+  struct ThreadCache;  // per-thread magazines (pool.cpp)
+  static thread_local ThreadCache* tls_;  // trivially destructible slot
+  ThreadCache* thread_cache(bool create);
+  void spill_class(ThreadCache& tc, int c, std::size_t keep) noexcept;
+  void spill_all(ThreadCache& tc) noexcept;
+
   Handle wrap(Node* n);
   void recycle(Bytes* b) noexcept;
 
+  std::mutex mu_;  // guards free_ (the shared spill slab)
   std::vector<Node*> free_[kClasses];
   PoolStats stats_;
 };
@@ -232,13 +286,26 @@ struct NoPoison {
   void operator()(std::vector<T>&) const {}
 };
 
+/// Sharing modes for the header-only pools (VecPool, BoxPool).
+///   kShardConfined  single-owner pool: one shard (thread) does every
+///                   acquire and release. No locks, no magazines — the
+///                   default, used by per-engine pools.
+///   kShared         process-wide singleton touched from any shard thread:
+///                   fast path through a per-thread magazine, overflow /
+///                   refill through a mutex-guarded shared freelist (the
+///                   spill slab). Used by net::packet_boxes() and the PLAN-P
+///                   tuple pool.
+enum class PoolMode { kShardConfined, kShared };
+
 template <typename T, typename PoisonFill = NoPoison<T>>
 class VecPool {
  public:
   using Vec = std::vector<T>;
   using Handle = std::shared_ptr<Vec>;
+  static constexpr std::size_t kMagazine = 64;  // per-thread cap (kShared)
 
-  VecPool(std::string name, AllocTag tag) : tag_(tag) {
+  VecPool(std::string name, AllocTag tag, PoolMode mode = PoolMode::kShardConfined)
+      : tag_(tag), shared_(mode == PoolMode::kShared) {
     register_pool_stats(name, &stats_);
   }
   VecPool(const VecPool&) = delete;
@@ -247,10 +314,8 @@ class VecPool {
   /// Empty vector, capacity from its previous life. `reserve_hint` is
   /// honored on the (counted) miss path so steady-state pushes never grow.
   Handle acquire(std::size_t reserve_hint) {
-    Node* n;
-    if (!free_.empty()) {
-      n = free_.back();
-      free_.pop_back();
+    Node* n = shared_ ? take_shared() : take_local();
+    if (n != nullptr) {
       ++stats_.hits;
       if (n->vec.capacity() < reserve_hint) {
         ScopedAllocTag tag(tag_);
@@ -276,6 +341,80 @@ class VecPool {
     VecPool* pool;
     void operator()(Vec* v) const noexcept { pool->recycle(v); }
   };
+  struct ThreadCache {
+    VecPool* owner = nullptr;
+    std::vector<Node*> items;
+  };
+
+  static ThreadCache*& tls_slot() {
+    // Trivially destructible: stays readable through static destruction; the
+    // Holder nulls it when the thread's cache goes away.
+    static thread_local ThreadCache* slot = nullptr;
+    return slot;
+  }
+
+  ThreadCache* thread_cache(bool create) {
+    ThreadCache* tc = tls_slot();
+    if (tc != nullptr) return tc->owner == this ? tc : nullptr;
+    if (!create) return nullptr;
+    struct Holder {
+      ThreadCache cache;
+      ~Holder() {
+        if (cache.owner != nullptr) cache.owner->spill_all(cache);
+        tls_slot() = nullptr;
+      }
+    };
+    static thread_local Holder holder;
+    if (holder.cache.owner != nullptr && holder.cache.owner != this) {
+      return nullptr;  // another instance owns this thread's cache slot
+    }
+    holder.cache.owner = this;
+    tls_slot() = &holder.cache;
+    return &holder.cache;
+  }
+
+  Node* take_local() {
+    if (free_.empty()) return nullptr;
+    Node* n = free_.back();
+    free_.pop_back();
+    return n;
+  }
+
+  Node* take_shared() {
+    ThreadCache* tc = thread_cache(true);
+    if (tc != nullptr && !tc->items.empty()) {
+      Node* n = tc->items.back();
+      tc->items.pop_back();
+      return n;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return nullptr;
+    Node* n = free_.back();
+    free_.pop_back();
+    if (tc != nullptr) {  // pull half a magazine while we hold the lock
+      std::size_t batch = std::min(free_.size(), kMagazine / 2);
+      ScopedAllocTag tag(tag_);
+      for (std::size_t i = 0; i < batch; ++i) {
+        tc->items.push_back(free_.back());
+        free_.pop_back();
+      }
+    }
+    return n;
+  }
+
+  void spill_half(ThreadCache& tc) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (tc.items.size() > kMagazine / 2) {
+      free_.push_back(tc.items.back());
+      tc.items.pop_back();
+    }
+  }
+
+  void spill_all(ThreadCache& tc) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Node* n : tc.items) free_.push_back(n);
+    tc.items.clear();
+  }
 
   void recycle(Vec* v) noexcept {
     if (poison_enabled()) PoisonFill{}(*v);
@@ -283,10 +422,25 @@ class VecPool {
     ++stats_.recycled;
     --stats_.live;
     // Node is standard-layout-compatible: vec is its first (only) member.
-    free_.push_back(reinterpret_cast<Node*>(v));
+    Node* n = reinterpret_cast<Node*>(v);
+    if (!shared_) {
+      free_.push_back(n);
+      return;
+    }
+    // Never *create* a cache on the free path: deleters may run during
+    // static destruction, after this thread's cache was torn down.
+    if (ThreadCache* tc = thread_cache(false)) {
+      tc->items.push_back(n);
+      if (tc->items.size() > kMagazine) spill_half(*tc);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(n);
   }
 
   AllocTag tag_;
+  const bool shared_;
+  std::mutex mu_;  // kShared only: guards free_
   std::vector<Node*> free_;
   PoolStats stats_;
 };
@@ -306,18 +460,18 @@ class BoxPool {
     void operator()(T* t) const noexcept { pool->recycle(t); }
   };
   using Handle = std::unique_ptr<T, Recycler>;
+  static constexpr std::size_t kMagazine = 64;  // per-thread cap (kShared)
 
-  BoxPool(std::string name, AllocTag tag) : tag_(tag) {
+  BoxPool(std::string name, AllocTag tag, PoolMode mode = PoolMode::kShardConfined)
+      : tag_(tag), shared_(mode == PoolMode::kShared) {
     register_pool_stats(name, &stats_);
   }
   BoxPool(const BoxPool&) = delete;
   BoxPool& operator=(const BoxPool&) = delete;
 
   Handle box(T&& v) {
-    T* t;
-    if (!free_.empty()) {
-      t = free_.back();
-      free_.pop_back();
+    T* t = shared_ ? take_shared() : take_local();
+    if (t != nullptr) {
       *t = std::move(v);
       ++stats_.hits;
     } else {
@@ -332,14 +486,99 @@ class BoxPool {
   const PoolStats& stats() const { return stats_; }
 
  private:
+  struct ThreadCache {
+    BoxPool* owner = nullptr;
+    std::vector<T*> items;
+  };
+
+  static ThreadCache*& tls_slot() {
+    static thread_local ThreadCache* slot = nullptr;  // trivially destructible
+    return slot;
+  }
+
+  ThreadCache* thread_cache(bool create) {
+    ThreadCache* tc = tls_slot();
+    if (tc != nullptr) return tc->owner == this ? tc : nullptr;
+    if (!create) return nullptr;
+    struct Holder {
+      ThreadCache cache;
+      ~Holder() {
+        if (cache.owner != nullptr) cache.owner->spill_all(cache);
+        tls_slot() = nullptr;
+      }
+    };
+    static thread_local Holder holder;
+    if (holder.cache.owner != nullptr && holder.cache.owner != this) {
+      return nullptr;
+    }
+    holder.cache.owner = this;
+    tls_slot() = &holder.cache;
+    return &holder.cache;
+  }
+
+  T* take_local() {
+    if (free_.empty()) return nullptr;
+    T* t = free_.back();
+    free_.pop_back();
+    return t;
+  }
+
+  T* take_shared() {
+    ThreadCache* tc = thread_cache(true);
+    if (tc != nullptr && !tc->items.empty()) {
+      T* t = tc->items.back();
+      tc->items.pop_back();
+      return t;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return nullptr;
+    T* t = free_.back();
+    free_.pop_back();
+    if (tc != nullptr) {
+      std::size_t batch = std::min(free_.size(), kMagazine / 2);
+      ScopedAllocTag tag(tag_);
+      for (std::size_t i = 0; i < batch; ++i) {
+        tc->items.push_back(free_.back());
+        free_.pop_back();
+      }
+    }
+    return t;
+  }
+
+  void spill_half(ThreadCache& tc) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (tc.items.size() > kMagazine / 2) {
+      free_.push_back(tc.items.back());
+      tc.items.pop_back();
+    }
+  }
+
+  void spill_all(ThreadCache& tc) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (T* t : tc.items) free_.push_back(t);
+    tc.items.clear();
+  }
+
   void recycle(T* t) noexcept {
     *t = T{};
     ++stats_.recycled;
     --stats_.live;
+    if (!shared_) {
+      free_.push_back(t);
+      return;
+    }
+    if (ThreadCache* tc = thread_cache(false)) {  // never create on free
+      tc->items.push_back(t);
+      if (tc->items.size() > kMagazine) spill_half(*tc);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
     free_.push_back(t);
   }
 
   AllocTag tag_;
+  const bool shared_;
+  std::mutex mu_;  // kShared only: guards free_
   std::vector<T*> free_;
   PoolStats stats_;
 };

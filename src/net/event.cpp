@@ -7,7 +7,15 @@ namespace asp::net {
 EventId EventQueue::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
   EventId id = next_id_++;
-  queue_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  queue_.push(Entry{t < now_ ? now_ : t, now_, UINT32_MAX, id, std::move(fn)});
+  return id;
+}
+
+EventId EventQueue::schedule_ranked(SimTime t, SimTime sched, std::uint32_t rank,
+                                    EventFn fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Entry{t, sched, rank, id, std::move(fn)});
   return id;
 }
 
@@ -35,9 +43,25 @@ std::uint64_t EventQueue::run(std::uint64_t limit) {
   return n;
 }
 
+SimTime EventQueue::next_event_time() {
+  // Discard cancelled entries at the head so the answer is the time of an
+  // event that will actually run.
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    return queue_.top().time;
+  }
+  return kNever;
+}
+
 std::uint64_t EventQueue::run_until(SimTime t) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t) {
+  // next_event_time() skips cancelled heads, so a cancelled entry at time
+  // <= t can never smuggle in a live event scheduled past t.
+  while (next_event_time() <= t) {
     if (pop_one()) ++n;
   }
   if (now_ < t) now_ = t;

@@ -1,4 +1,12 @@
 // Discrete-event scheduler: the heart of the simulator.
+//
+// Threading (DESIGN.md §6f): an EventQueue is SHARD-CONFINED. Under the
+// parallel executor every shard owns one private queue, and only that
+// shard's worker thread may call any method here — there is deliberately no
+// internal locking. Cross-shard work never touches a foreign queue directly:
+// it goes through a mailbox (net/mailbox.hpp) and is scheduled into the
+// target queue by the coordinator at a window barrier, when no worker is
+// running. Single-shard programs are unaffected: one thread, one queue.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +28,24 @@ using EventId = std::uint64_t;
 using EventFn = mem::SmallFn<64>;
 
 /// A priority queue of timestamped callbacks. Events at equal times run in
-/// scheduling order (FIFO), which keeps simulations deterministic.
+/// order of the clock at which they were scheduled, then in scheduling order
+/// (FIFO) — which keeps simulations deterministic. In a serial run the two
+/// rules coincide (now() never decreases, so FIFO ids already order by
+/// schedule clock); the distinction only matters for cross-shard merges, see
+/// schedule_merged().
 class EventQueue {
  public:
   /// Schedules `fn` to run at absolute time `t` (>= now()).
   EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules a point-to-point frame delivery with an explicit tie-break
+  /// key: `sched` is the sender's clock at transmit time and `rank` its
+  /// topology index. Used for p2p deliveries in BOTH serial and parallel
+  /// runs so that deliveries colliding to the nanosecond sort identically
+  /// whether they were enqueued locally at transmit time (serial / same
+  /// shard) or merged from a mailbox at a window barrier (cross-shard) —
+  /// the determinism contract's canonical order (DESIGN.md §6f).
+  EventId schedule_ranked(SimTime t, SimTime sched, std::uint32_t rank, EventFn fn);
 
   /// Schedules `fn` to run `delay` after the current time.
   EventId schedule_in(SimTime delay, EventFn fn) {
@@ -50,6 +71,14 @@ class EventQueue {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
+  /// Sentinel returned by next_event_time() when no runnable event remains.
+  static constexpr SimTime kNever = ~SimTime{0};
+
+  /// Timestamp of the earliest runnable (non-cancelled) event, or kNever.
+  /// Lazily discards cancelled entries at the head. The parallel executor's
+  /// coordinator reads this at window barriers to size the next safe window.
+  SimTime next_event_time();
+
  private:
   // Capture budget: `fn` stores its capture inline up to EventFn::kInlineBytes
   // (64 bytes — a `this` pointer plus several shared_ptrs, or a pooled
@@ -60,12 +89,17 @@ class EventQueue {
   // the ~150-byte Packet (see medium.cpp / node.cpp).
   struct Entry {
     SimTime time;
+    SimTime sched;       // clock when scheduled (sender clock for deliveries)
+    std::uint32_t rank;  // sender topo index for p2p deliveries, else max
     EventId id;
     EventFn fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.id > b.id;
+      if (a.time != b.time) return a.time > b.time;
+      if (a.sched != b.sched) return a.sched > b.sched;
+      if (a.rank != b.rank) return a.rank > b.rank;
+      return a.id > b.id;
     }
   };
 

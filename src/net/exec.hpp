@@ -1,0 +1,110 @@
+// ParallelExecutor: conservative sharded execution of a Network (DESIGN.md
+// §6f).
+//
+// The topology is partitioned into islands — maximal groups of nodes joined
+// by Ethernet segments or by point-to-point links that cannot be cut (zero
+// delay, or impairments configured, since impairment RNG draws must stay in
+// serial order). Islands are merged into N shards by a greedy min-cut/LPT
+// heuristic; each shard owns a private EventQueue driven by its own thread
+// (the caller's thread drives shard 0, which reuses the Network's primary
+// queue so net.now() stays meaningful).
+//
+// Time advances in bounded-lookahead windows. With W = the minimum delay over
+// cut links, every shard may safely run up to cap = next_min + W - 1, where
+// next_min is the earliest pending event anywhere: any frame transmitted in
+// the window arrives at sender_now + delay >= next_min + W > cap, i.e.
+// strictly after the window, so no shard can receive an event in its past.
+// Cross-shard frames travel through lock-free mailboxes (mailbox.hpp) and are
+// merged at the window barrier, sorted by (arrival, sent, sender_topo, seq)
+// so that a run with N shards is byte-identical to the serial run.
+//
+// Threading: construct, run_until()/run() (or net.run_until() — overrides are
+// installed), and destroy all from ONE thread. The destructor parks and joins
+// the workers and rebinds every node/medium to the primary queue, leaving the
+// Network usable serially again (events still pending in private shard queues
+// at that point are dropped — destroy the executor only after a run drains).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "net/event.hpp"
+#include "net/mailbox.hpp"
+#include "net/network.hpp"
+
+namespace asp::net {
+
+class ParallelExecutor {
+ public:
+  struct Stats {
+    std::uint64_t windows = 0;         ///< barrier iterations
+    std::uint64_t cross_messages = 0;  ///< frames merged through mailboxes
+    std::uint64_t events_run = 0;      ///< summed over shards (valid when idle)
+  };
+
+  /// Partitions `net` and installs run overrides. `shards` is the requested
+  /// shard count; the effective count is min(shards, islands) and `shards<=0`
+  /// means one shard per island. The Network must outlive the executor, and
+  /// the topology must not be mutated while the executor is attached.
+  explicit ParallelExecutor(Network& net, int shards = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Windowed parallel equivalents of EventQueue::run_until / run. Calling
+  /// net.run_until()/net.run() lands here via the installed overrides.
+  void run_until(SimTime t);
+  void run();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int island_count() const { return islands_; }
+  /// Cross-shard lookahead W (min delay over cut links); kNever if no link
+  /// was cut (single effective shard).
+  SimTime lookahead() const { return lookahead_; }
+  /// Shard owning `n`'s event queue.
+  int shard_of(const Node& n) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Shard {
+    EventQueue* queue = nullptr;        // shard 0: &net.events()
+    std::unique_ptr<EventQueue> owned;  // shards 1..N-1
+    Mailbox inbox;
+    std::uint64_t seq = 0;  // per-shard cross-send counter (sender thread only)
+    std::uint64_t events_run = 0;
+  };
+
+  void partition(int requested);
+  void install();
+  void window_loop(SimTime t, bool bounded);
+  void dispatch_window(SimTime cap);
+  void merge_mailboxes();
+  SimTime next_min();
+  void worker_main(int shard);
+
+  Network& net_;
+  std::vector<Shard> shards_;
+  std::unordered_map<const Node*, int> node_shard_;
+  int islands_ = 0;
+  SimTime lookahead_ = EventQueue::kNever;
+  Stats stats_;
+
+  // Window barrier (coordinator = caller thread, workers = shards 1..N-1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t gen_ = 0;  // bumped per window; workers chase it
+  SimTime target_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace asp::net

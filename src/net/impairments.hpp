@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "net/time.hpp"
+#include "obs/relaxed.hpp"
 
 namespace asp::net {
 
@@ -41,16 +42,22 @@ struct Impairments {
 /// loss from a partition; the chaos bench needs to attribute what it
 /// measures, so every cause counts separately (the legacy aggregate is the
 /// sum, see Medium::dropped_packets()).
+///
+/// Relaxed atomics: a cut point-to-point link counts from both endpoint
+/// shards (each direction drops on its sender's thread, and an in-flight
+/// frame can die at arrival on the receiver's thread). Totals are exact at
+/// window barriers.
 struct ImpairmentStats {
-  std::uint64_t dropped_queue = 0;        ///< egress backlog exceeded capacity
-  std::uint64_t dropped_loss = 0;         ///< random in-flight loss
-  std::uint64_t dropped_down = 0;         ///< link was down (at tx or arrival)
-  std::uint64_t dropped_unaddressed = 0;  ///< no station claimed the frame
-  std::uint64_t duplicated = 0;           ///< extra copies put on the wire
-  std::uint64_t corrupted = 0;            ///< frames with a flipped byte
+  obs::RelaxedU64 dropped_queue;        ///< egress backlog exceeded capacity
+  obs::RelaxedU64 dropped_loss;         ///< random in-flight loss
+  obs::RelaxedU64 dropped_down;         ///< link was down (at tx or arrival)
+  obs::RelaxedU64 dropped_unaddressed;  ///< no station claimed the frame
+  obs::RelaxedU64 duplicated;           ///< extra copies put on the wire
+  obs::RelaxedU64 corrupted;            ///< frames with a flipped byte
 
   std::uint64_t total_dropped() const {
-    return dropped_queue + dropped_loss + dropped_down + dropped_unaddressed;
+    return dropped_queue.load() + dropped_loss.load() + dropped_down.load() +
+           dropped_unaddressed.load();
   }
 };
 

@@ -1,0 +1,77 @@
+// Cross-shard mailbox: the only channel through which a frame moves between
+// shards of a parallel run (DESIGN.md §6f).
+//
+// Threading model: during a window, any shard thread whose node transmits on
+// a cut link push()es into the RECEIVING shard's mailbox. push() is lock-free
+// (a Treiber-stack CAS) and never blocks an event handler. drain() is
+// BARRIER-ONLY: the coordinator calls it after every worker has parked, so it
+// runs with no concurrent pushers. Arrival order out of drain() is
+// unspecified — the executor sorts messages by their ordering key
+// (arrival, sent, sender_topo, seq) before scheduling, which is what makes a
+// sharded run byte-identical to the serial one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/time.hpp"
+
+namespace asp::net {
+
+class PointToPointLink;
+
+/// One frame in flight across a shard boundary, plus the key the coordinator
+/// sorts on when merging a window's mailboxes.
+struct CrossShardMsg {
+  std::atomic<CrossShardMsg*> next{nullptr};
+
+  SimTime arrival = 0;            ///< absolute delivery time at the receiver
+  SimTime sent = 0;               ///< sender shard's clock at transmit
+  std::uint32_t sender_topo = 0;  ///< creation index of the sending node
+  std::uint64_t seq = 0;          ///< per-sender-shard push counter
+  PointToPointLink* link = nullptr;
+  int end = 0;  ///< receiving end index on `link`
+
+  Packet packet;
+};
+
+/// Lock-free MPSC mailbox (multi-producer push, single barrier-time consumer).
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+  ~Mailbox() {
+    for (CrossShardMsg* m : drain()) delete m;
+  }
+
+  /// Any shard thread, any time during a window. Takes ownership of `m`.
+  void push(CrossShardMsg* m) {
+    CrossShardMsg* h = head_.load(std::memory_order_relaxed);
+    do {
+      m->next.store(h, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(h, m, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Coordinator only, at a window barrier (no concurrent pushers). Returns
+  /// every queued message in unspecified order; caller sorts and deletes.
+  std::vector<CrossShardMsg*> drain() {
+    std::vector<CrossShardMsg*> out;
+    CrossShardMsg* m = head_.exchange(nullptr, std::memory_order_acquire);
+    while (m != nullptr) {
+      out.push_back(m);
+      m = m->next.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+ private:
+  std::atomic<CrossShardMsg*> head_{nullptr};
+};
+
+}  // namespace asp::net

@@ -23,7 +23,7 @@ void Interface::note_tx(SimTime now, std::size_t bytes) {
 
 Medium::Medium(EventQueue& events, std::string name, double bits_per_sec,
                SimTime delay, std::uint64_t queue_capacity_bytes)
-    : events_(events),
+    : events_(&events),
       name_(std::move(name)),
       bandwidth_bps_(bits_per_sec),
       delay_(delay),
@@ -42,7 +42,7 @@ Medium::Medium(EventQueue& events, std::string name, double bits_per_sec,
 }
 
 void Medium::set_link_up(bool up) {
-  link_up_ = up;
+  link_up_.store(up, std::memory_order_relaxed);
   m_link_up_->set(up ? 1 : 0);
 }
 
@@ -70,19 +70,42 @@ void Medium::apply_corruption(Packet& p) {
   m_corrupted_->inc();
 }
 
+double PointToPointLink::utilization() {
+  SimTime now = events_->now();
+  return (dir_meter_[0].rate_bps(now) + dir_meter_[1].rate_bps(now)) / bandwidth_bps_;
+}
+
+void PointToPointLink::deliver_arrival(int end, Packet&& p) {
+  if (!link_up()) {  // partition started while the frame was in flight
+    count_drop_down();
+    return;
+  }
+  note_delivered(p);
+  Interface& in = *ends_[end];
+  in.node()->receive(std::move(p), in);
+}
+
 void PointToPointLink::schedule_delivery(Interface* to, Packet&& p, SimTime arrival) {
-  // The in-flight Packet rides in a pooled box so the capture (this, to,
+  const int end = (to == ends_[0]) ? 0 : 1;
+  if (cross_[end]) {
+    // Receiving end lives on another shard: hand the frame to its mailbox
+    // (the executor merges and schedules deliver_arrival over there).
+    cross_[end](arrival, std::move(p));
+    return;
+  }
+  // The in-flight Packet rides in a pooled box so the capture (this, end,
   // box handle) stays within the EventFn inline budget — a direct
   // `p = std::move(p)` capture would heap-allocate per frame.
-  events_.schedule_at(arrival, [this, to, box = packet_boxes().box(std::move(p))]() mutable {
-    if (!link_up_) {  // partition started while the frame was in flight
-      count_drop_down();
-      return;
-    }
-    note_delivered(*box);
-    Interface& in = *to;
-    in.node()->receive(std::move(*box), in);
-  });
+  //
+  // schedule_ranked, not schedule_at: p2p deliveries carry the canonical
+  // (sender clock, sender topo index) tie-break so serial and sharded runs
+  // order same-nanosecond deliveries identically (the cross-shard path above
+  // reconstructs exactly this key when the mailbox is merged).
+  Node* sender = ends_[1 - end]->node();
+  events_->schedule_ranked(arrival, sender->events().now(), sender->topo_index(),
+                           [this, end, box = packet_boxes().box(std::move(p))]() mutable {
+                             deliver_arrival(end, std::move(*box));
+                           });
 }
 
 void PointToPointLink::transmit(Interface& from, Packet p) {
@@ -90,8 +113,10 @@ void PointToPointLink::transmit(Interface& from, Packet p) {
   Interface* to = ends_[1 - dir];
   if (to == nullptr) return;
 
-  SimTime now = events_.now();
-  if (!link_up_) {
+  // The SENDER's clock: on a cut link each direction transmits from its own
+  // shard, and events_ belongs to only one of them.
+  SimTime now = from.node()->events().now();
+  if (!link_up()) {
     count_drop_down();
     return;
   }
@@ -106,7 +131,7 @@ void PointToPointLink::transmit(Interface& from, Packet p) {
   busy_until_[dir] = start + serialize;
   std::size_t bytes = p.wire_size();
   from.note_tx(now, bytes);
-  meter_.record(now, bytes);
+  dir_meter_[dir].record(now, bytes);
   // A lost frame still occupied the wire and counted toward the tx meters:
   // the sender offered the load whether or not it arrived.
   FramePlan plan = plan_frame();
@@ -124,8 +149,8 @@ void PointToPointLink::transmit(Interface& from, Packet p) {
 
 void EthernetSegment::schedule_delivery(const Interface* from, Packet&& p,
                                         SimTime arrival) {
-  events_.schedule_at(arrival, [this, from, box = packet_boxes().box(std::move(p))]() mutable {
-    if (!link_up_) {
+  events_->schedule_at(arrival, [this, from, box = packet_boxes().box(std::move(p))]() mutable {
+    if (!link_up()) {
       count_drop_down();
       return;
     }
@@ -134,8 +159,9 @@ void EthernetSegment::schedule_delivery(const Interface* from, Packet&& p,
 }
 
 void EthernetSegment::transmit(Interface& from, Packet p) {
-  SimTime now = events_.now();
-  if (!link_up_) {
+  // Segments are never cut: events_ is always the sender's shard queue.
+  SimTime now = events_->now();
+  if (!link_up()) {
     count_drop_down();
     return;
   }

@@ -1,7 +1,19 @@
 // Transmission media: point-to-point links and shared Ethernet segments.
+//
+// Threading (DESIGN.md §6f): a medium normally lives on one shard — the
+// partitioner never splits an EthernetSegment (all stations share busy state
+// and one RNG stream), and never splits a PointToPointLink that carries
+// impairments (the RNG draw order must stay serial). The only object touched
+// from two shards is a CUT point-to-point link: each direction's transmit
+// runs on its sender's thread (own busy_until_ slot and direction meter) and
+// hands the frame to the receiving shard through a mailbox poster. The
+// members shared across a cut — link_up_, delivered/drop counters — are
+// relaxed atomics; everything else stays shard-confined.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +31,8 @@ class Node;
 class Medium;
 
 /// A network interface: the attachment point between a Node and a Medium.
+/// Shard-confined to its node's shard (tx accounting is written only from
+/// the owning node's transmits).
 class Interface {
  public:
   Interface(Node* node, int index) : node_(node), index_(index) {}
@@ -77,14 +91,22 @@ class Medium {
   Medium& operator=(const Medium&) = delete;
 
   /// Transmits `p` from interface `from`. May drop on queue overflow.
+  /// Callable from `from`'s owning shard only (for a cut link that means
+  /// either endpoint shard, each confined to its own direction).
   virtual void transmit(Interface& from, Packet p) = 0;
+
+  /// Rebinds the medium's scheduling queue (barrier-only: executor install
+  /// time). Link-state flips and intra-shard deliveries land on this queue.
+  void bind_events(EventQueue& q) { events_ = &q; }
+  EventQueue& events() { return *events_; }
 
   const std::string& name() const { return name_; }
   double bandwidth_bps() const { return bandwidth_bps_; }
   SimTime delay() const { return delay_; }
 
-  std::uint64_t delivered_packets() const { return delivered_packets_; }
-  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  /// Delivered totals (relaxed atomics: exact at barriers / end of run).
+  std::uint64_t delivered_packets() const { return delivered_packets_.load(); }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_.load(); }
 
   // --- fault injection --------------------------------------------------------
 
@@ -106,11 +128,14 @@ class Medium {
 
   /// Link state. A down link drops frames at transmission *and* kills frames
   /// still in flight when it goes down (their arrival finds the link down).
-  bool link_up() const { return link_up_; }
+  /// Atomic: both endpoint shards of a cut link read it on their fast paths.
+  bool link_up() const { return link_up_.load(std::memory_order_relaxed); }
   void set_link_up(bool up);
-  /// Schedules a link-state flip at absolute time `at`.
+  /// Schedules a link-state flip at absolute time `at` (on the owning
+  /// shard's queue; the new state is visible to the peer shard from its next
+  /// window).
   void schedule_link_state(SimTime at, bool up) {
-    events_.schedule_at(at, [this, up] { set_link_up(up); });
+    events_->schedule_at(at, [this, up] { set_link_up(up); });
   }
   /// Schedules one outage (partition): down at `down_at`, back up at `up_at`.
   void schedule_outage(SimTime down_at, SimTime up_at) {
@@ -129,13 +154,17 @@ class Medium {
   /// Legacy aggregate: every frame that failed to reach a receiver.
   std::uint64_t dropped_packets() const { return stats_.total_dropped(); }
 
-  /// Aggregate carried-traffic meter (all senders).
+  /// Aggregate carried-traffic meter (all senders). For point-to-point
+  /// links the carried load lives in per-direction meters instead — use
+  /// utilization(). Shard-confined (meters mutate on read).
   BandwidthMeter& meter() { return meter_; }
 
   /// Current utilization in [0,1]: carried bits over the meter window
-  /// relative to capacity.
-  double utilization() {
-    return meter_.rate_bps(events_.now()) / bandwidth_bps_;
+  /// relative to capacity. Shard-confined: call from the medium's owning
+  /// shard only (for a cut link, barrier-only — it reads both direction
+  /// meters).
+  virtual double utilization() {
+    return meter_.rate_bps(events_->now()) / bandwidth_bps_;
   }
 
  protected:
@@ -179,17 +208,17 @@ class Medium {
     m_delivered_->inc();
   }
 
-  EventQueue& events_;
+  EventQueue* events_;  // owning shard's queue (rebindable, never null)
   std::string name_;
   double bandwidth_bps_;
   SimTime delay_;
   std::uint64_t queue_capacity_;  // bytes of backlog allowed beyond the wire
-  std::uint64_t delivered_packets_ = 0;
-  std::uint64_t delivered_bytes_ = 0;
-  Impairments imp_;
-  ImpairmentStats stats_;
-  bool link_up_ = true;
-  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+  obs::RelaxedU64 delivered_packets_;  // cut links count from both shards
+  obs::RelaxedU64 delivered_bytes_;
+  Impairments imp_;        // shard-confined (impaired media are never cut)
+  ImpairmentStats stats_;  // relaxed atomics (see impairments.hpp)
+  std::atomic<bool> link_up_{true};
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;  // shard-confined (never cut)
   BandwidthMeter meter_{kNsPerSec / 2};
 
   // Cached instruments in the global registry (medium/<name>/...).
@@ -204,6 +233,13 @@ class Medium {
 };
 
 /// Full-duplex point-to-point link between exactly two interfaces.
+///
+/// The duplex directions are independent: direction d (sender ends_[d]) has
+/// its own busy_until_ slot and carried-traffic meter, all written only from
+/// the sender's shard. That is what makes a clean link CUTTABLE by the
+/// parallel executor: its delay() becomes cross-shard lookahead, and each
+/// direction's deliveries are posted to the receiving shard's mailbox
+/// through the installed poster instead of the local queue.
 class PointToPointLink : public Medium {
  public:
   PointToPointLink(EventQueue& events, std::string name, double bits_per_sec,
@@ -219,15 +255,37 @@ class PointToPointLink : public Medium {
 
   void transmit(Interface& from, Packet p) override;
 
+  Interface* end(int i) const { return ends_[i]; }
+
+  /// Sums both direction meters (barrier-only on a cut link).
+  double utilization() override;
+
+  /// Poster for frames whose receiving end lives on another shard. Invoked
+  /// on the SENDER's thread with the computed arrival time; the executor's
+  /// implementation enqueues into the receiver shard's mailbox. Barrier-only
+  /// install (executor setup), `end` is the RECEIVING end index.
+  using CrossShardPoster = std::function<void(SimTime arrival, Packet&& p)>;
+  void set_cross_poster(int end, CrossShardPoster f) { cross_[end] = std::move(f); }
+
+  /// Arrival half of a delivery for receiving end `end`: link-state check,
+  /// delivered accounting, hand-off to the node. Public so the executor can
+  /// run it on the receiving shard at the merged arrival time.
+  void deliver_arrival(int end, Packet&& p);
+
  private:
   void schedule_delivery(Interface* to, Packet&& p, SimTime arrival);
 
   Interface* ends_[2] = {nullptr, nullptr};
-  SimTime busy_until_[2] = {0, 0};  // per direction
+  SimTime busy_until_[2] = {0, 0};       // per direction (sender-shard state)
+  BandwidthMeter dir_meter_[2] = {BandwidthMeter{kNsPerSec / 2},
+                                  BandwidthMeter{kNsPerSec / 2}};
+  CrossShardPoster cross_[2];            // indexed by receiving end
 };
 
 /// Shared half-duplex Ethernet segment: every attached interface contends for
 /// the same capacity; frames are addressed by IP (our L2 is implicit ARP).
+/// Never cut: busy_until_ and the RNG stream are shared by every station, so
+/// the partitioner keeps all attached nodes on one shard.
 class EthernetSegment : public Medium {
  public:
   EthernetSegment(EventQueue& events, std::string name, double bits_per_sec,

@@ -1,6 +1,16 @@
 // Network: owns the event queue, nodes and media, and offers topology helpers.
+//
+// Threading (DESIGN.md §6f): build the topology single-threaded, then either
+// run it single-threaded (the default — events() is the only queue) or
+// attach a net::ParallelExecutor, which partitions nodes/media into shards,
+// rebinds their queues and installs run overrides so run()/run_until()
+// drive the windowed parallel loop. Topology mutation (add_node, link,
+// segment, attach) is setup-time only — never call it while a run is in
+// progress. events() is the PRIMARY (shard 0) queue; under an executor,
+// other shards' events live in their private queues.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +30,7 @@ class Network {
 
   Node& add_node(const std::string& name) {
     nodes_.push_back(std::make_unique<Node>(events_, name));
+    nodes_.back()->set_topo_index(static_cast<std::uint32_t>(nodes_.size() - 1));
     return *nodes_.back();
   }
 
@@ -62,8 +73,29 @@ class Network {
     return i;
   }
 
-  void run_until(SimTime t) { events_.run_until(t); }
-  void run() { events_.run(); }
+  void run_until(SimTime t) {
+    if (run_until_override_) {
+      run_until_override_(t);
+    } else {
+      events_.run_until(t);
+    }
+  }
+  void run() {
+    if (run_override_) {
+      run_override_();
+    } else {
+      events_.run();
+    }
+  }
+
+  /// Installs (or clears, with empty functions) the run delegates. Used by
+  /// the parallel executor so experiment code calling net.run_until() drives
+  /// the windowed multi-shard loop unchanged.
+  void set_run_override(std::function<void(SimTime)> run_until_fn,
+                        std::function<void()> run_fn) {
+    run_until_override_ = std::move(run_until_fn);
+    run_override_ = std::move(run_fn);
+  }
 
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
 
@@ -82,6 +114,8 @@ class Network {
   EventQueue events_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Medium>> media_;
+  std::function<void(SimTime)> run_until_override_;
+  std::function<void()> run_override_;
 };
 
 /// Parses a dotted quad that is known to be valid (test/topology helper).

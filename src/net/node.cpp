@@ -33,7 +33,7 @@ void UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport,
 }
 
 Node::Node(EventQueue& events, std::string name)
-    : events_(events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {
+    : events_(&events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {
   obs::MetricsRegistry& reg = obs::registry();
   const std::string prefix = "node/" + name_ + "/net/";
   m_rx_packets_ = &reg.counter(prefix + "rx_packets");
@@ -142,7 +142,7 @@ void Node::send_ip(Packet p) {
   if (p.id == 0) p.id = next_packet_id();
   if (owns(p.ip.dst)) {
     // Loopback. Boxed so the capture fits the EventFn inline buffer.
-    events_.schedule_in(0, [this, box = packet_boxes().box(std::move(p))]() mutable {
+    events_->schedule_in(0, [this, box = packet_boxes().box(std::move(p))]() mutable {
       deliver_local(std::move(*box));
     });
     return;

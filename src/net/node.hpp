@@ -67,6 +67,15 @@ class UdpSocket {
 /// its interfaces; hosts only source/sink traffic. The PLAN-P runtime attaches
 /// via `set_ip_hook`, which sees every packet entering the IP layer — exactly
 /// where the paper's Solaris kernel module sits (paper Figure 1).
+///
+/// Threading (DESIGN.md §6f): a Node is SHARD-CONFINED — it lives on exactly
+/// one shard, and every method (receive, send_ip, forward, the statistics
+/// accessors, TCP/UDP) must run on that shard's thread. Packets from other
+/// shards arrive only via the owning medium's merged mailbox events, which
+/// the executor schedules onto this node's queue; no foreign thread calls
+/// into a Node directly. events() returns the owning shard's queue — always
+/// schedule node-local work there, never on another node's queue. The
+/// statistics counters stay plain fields for exactly this reason.
 class Node {
  public:
   /// Hook result: consumed (the ASP handled the packet) or pass-through.
@@ -77,8 +86,18 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
+  /// Creation index within the owning Network (set by add_node). Used as the
+  /// canonical tie-break rank for p2p frame deliveries — see
+  /// EventQueue::schedule_ranked and DESIGN.md §6f. Standalone nodes keep 0.
+  std::uint32_t topo_index() const { return topo_index_; }
+  void set_topo_index(std::uint32_t i) { topo_index_ = i; }
+
   const std::string& name() const { return name_; }
-  EventQueue& events() { return events_; }
+  EventQueue& events() { return *events_; }
+
+  /// Rebinds this node to a shard's private queue (barrier-only: called by
+  /// the parallel executor at install time, before any worker runs).
+  void bind_events(EventQueue& q) { events_ = &q; }
 
   /// Adds an interface with the given IP address; returns it. A connected
   /// route for the interface subnet (default /24) is installed automatically.
@@ -164,8 +183,9 @@ class Node {
  private:
   friend class UdpSocket;
 
-  EventQueue& events_;
+  EventQueue* events_;  // owning shard's queue (rebindable, never null)
   std::string name_;
+  std::uint32_t topo_index_ = 0;
   std::deque<std::unique_ptr<Interface>> ifaces_;
   bool router_ = false;
   RoutingTable routes_;

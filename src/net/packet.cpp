@@ -1,5 +1,7 @@
 #include "net/packet.hpp"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 
 namespace asp::net {
@@ -34,9 +36,13 @@ std::vector<std::uint8_t>& Payload::mutate() {
 
 namespace {
 
+// Interning is cold (runtime install time) but can happen on any shard
+// thread, so the table takes a mutex; names live in a deque so the
+// references name_of() hands out stay stable across later interns.
 struct TagTable {
+  std::mutex mu;
   std::unordered_map<std::string, std::uint32_t> ids;
-  std::vector<std::string> names{""};  // id 0 = untagged
+  std::deque<std::string> names{""};  // id 0 = untagged
 };
 
 TagTable& tag_table() {
@@ -49,6 +55,7 @@ TagTable& tag_table() {
 std::uint32_t ChannelTags::intern(const std::string& name) {
   if (name.empty()) return 0;
   TagTable& t = tag_table();
+  std::lock_guard<std::mutex> lock(t.mu);
   auto [it, inserted] = t.ids.try_emplace(name, static_cast<std::uint32_t>(t.names.size()));
   if (inserted) t.names.push_back(name);
   return it->second;
@@ -56,6 +63,7 @@ std::uint32_t ChannelTags::intern(const std::string& name) {
 
 const std::string& ChannelTags::name_of(std::uint32_t id) {
   TagTable& t = tag_table();
+  std::lock_guard<std::mutex> lock(t.mu);
   if (id >= t.names.size()) return t.names[0];
   return t.names[id];
 }
@@ -92,8 +100,10 @@ Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload) {
 }
 
 mem::BoxPool<Packet>& packet_boxes() {
-  // Leaked: recycling deleters may run during static destruction.
-  static auto* pool = new mem::BoxPool<Packet>("mem/packet_box", mem::AllocTag::kEvent);
+  // Leaked: recycling deleters may run during static destruction. kShared:
+  // a boxed packet can cross a shard boundary and be recycled over there.
+  static auto* pool = new mem::BoxPool<Packet>("mem/packet_box", mem::AllocTag::kEvent,
+                                               mem::PoolMode::kShared);
   return *pool;
 }
 

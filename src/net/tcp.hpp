@@ -4,6 +4,13 @@
 // This is the substrate for the HTTP load-balancing experiment (paper §3.2):
 // what matters there is that connections are established end-to-end through a
 // gateway that rewrites addresses, and that servers saturate under load.
+//
+// Threading (DESIGN.md §6f): a TcpStack and every TcpConnection it owns are
+// SHARD-CONFINED to their node's shard — timers go through the node's
+// events(), segments leave via the node's interfaces, and peer segments
+// arrive as ordinary packet deliveries on this shard's queue. A connection's
+// two endpoints may live on different shards; they only ever interact
+// through transmitted packets, never by touching each other's state.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,10 @@ struct TraceEvent {
   std::string summary;
 };
 
+/// Threading: a tracer's event buffer is unsynchronized, so one tracer is
+/// SHARD-CONFINED — attach() it only to nodes that live on the same shard
+/// (single-shard runs: anywhere). Use one tracer per shard when tracing a
+/// parallel run.
 class PacketTracer {
  public:
   /// Maximum retained events; older ones are discarded (ring semantics).
@@ -32,9 +36,11 @@ class PacketTracer {
 
   /// Starts recording packets arriving at `n`. Adds an rx tap; other taps
   /// (a second tracer, a metrics probe) keep firing alongside this one.
+  /// Events carry the node's own clock at arrival time — read through the
+  /// Node (not captured by value) so shard rebinding keeps the right queue.
   void attach(Node& n) {
-    n.add_rx_tap([this, name = n.name()](const Packet& p, const Interface&) {
-      record(0, name, p);
+    n.add_rx_tap([this, node = &n](const Packet& p, const Interface&) {
+      record(node->events().now(), node->name(), p);
     });
   }
 

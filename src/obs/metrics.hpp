@@ -24,37 +24,59 @@
 // (benches construct many). Components that need exact per-instance figures
 // capture a baseline at construction and report deltas (see
 // runtime::AspRuntime::stats()).
+//
+// Thread-safety (see DESIGN.md §6f): Counter and Gauge are relaxed atomics —
+// any shard thread may bump them concurrently through a cached pointer with
+// no lock on the hot path; the totals are exact because every write is a
+// commutative add/last-write. Instrument *creation* (counter()/gauge()/
+// histogram()) takes the registry mutex, so a runtime install on one shard
+// can mint instruments while other shards keep incrementing theirs.
+// Histograms are NOT atomic: each histogram must be observed from a single
+// shard (all of ours are per-node, and a node lives on exactly one shard).
+// Whole-registry snapshots (to_json, counters(), reset) are barrier-only:
+// call them when no shard is mid-window (before run, after run, or from the
+// coordinator at a window barrier).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+
+#include "obs/relaxed.hpp"
 
 namespace asp::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Thread-safe (relaxed atomic):
+/// concurrent inc() from any shard, exact total at barriers.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const { return value_.load(); }
   void reset() { value_ = 0; }
 
  private:
-  std::uint64_t value_ = 0;
+  RelaxedU64 value_;
 };
 
-/// Last-written instantaneous value.
+/// Last-written instantaneous value. Thread-safe (relaxed atomic): set() is a
+/// plain store, add() a CAS loop; last writer wins across shards.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed log2-bucket histogram over non-negative values.
@@ -96,11 +118,25 @@ class Histogram {
 /// Owns every instrument, keyed by hierarchical name. Instruments are created
 /// on first access and live as long as the registry; returned references stay
 /// valid across later registrations (std::map node stability).
+///
+/// Thread-safety: creation lookups lock `mu_` (cold path — callers cache the
+/// returned pointer/reference and then increment lock-free). The map
+/// accessors counters()/gauges()/histograms(), to_json and reset() read the
+/// maps unlocked and are barrier-only under the parallel executor.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+  }
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
@@ -114,6 +150,7 @@ class MetricsRegistry {
   void reset();
 
  private:
+  std::mutex mu_;  // guards map mutation only; instruments are lock-free
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

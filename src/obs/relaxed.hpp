@@ -1,0 +1,60 @@
+// RelaxedU64: a drop-in counter cell for statistics shared across shard
+// threads.
+//
+// The parallel executor (net/exec.hpp) runs one thread per shard; counters
+// that more than one shard may touch (obs::Counter, Medium delivery/drop
+// counts, pool statistics) become relaxed atomics. Relaxed is enough because
+// every such field is a pure commutative sum — no reader makes a control
+// decision from a mid-window value, and window barriers (acq/rel on the
+// executor's synchronization) order everything that matters. The final totals
+// are exact and deterministic regardless of thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace asp::obs {
+
+/// Monotone-ish uint64 cell with relaxed atomic ops and value semantics on
+/// copy (copies snapshot the current value). Increments compile to a single
+/// uncontended `lock add` on x86 — cheap enough for the per-packet path.
+class RelaxedU64 {
+ public:
+  RelaxedU64() = default;
+  explicit RelaxedU64(std::uint64_t v) : v_(v) {}
+  RelaxedU64(const RelaxedU64& o) : v_(o.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedU64& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  std::uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  operator std::uint64_t() const { return load(); }  // NOLINT: drop-in reads
+
+  RelaxedU64& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator--() {
+    v_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator+=(std::uint64_t n) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator-=(std::uint64_t n) {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace asp::obs

@@ -19,8 +19,9 @@ using TuplePool = mem::VecPool<Value, TuplePoison>;
 
 TuplePool& tuple_pool() {
   // Leaked: tuple handles (e.g. in static test fixtures) may recycle during
-  // static destruction.
-  static auto* pool = new TuplePool("mem/tuple", mem::AllocTag::kTuple);
+  // static destruction. kShared: every shard thread decodes tuples.
+  static auto* pool =
+      new TuplePool("mem/tuple", mem::AllocTag::kTuple, mem::PoolMode::kShared);
   return *pool;
 }
 

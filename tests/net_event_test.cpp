@@ -113,5 +113,33 @@ TEST(SimTimeHelpers, TxTimeMatchesLinkRate) {
   EXPECT_EQ(tx_time(1, 8.0), kNsPerSec);
 }
 
+
+TEST(EventQueue, NextEventTimeSkipsCancelledHead) {
+  EventQueue q;
+  EventId dead = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  q.cancel(dead);
+  EXPECT_EQ(q.next_event_time(), 20u);
+  q.run();
+  EXPECT_EQ(q.next_event_time(), EventQueue::kNever);
+}
+
+// Regression: run_until(t) used to look only at the raw heap head, so a
+// cancelled entry at the head with time <= t let it run a live event
+// scheduled PAST t. The parallel executor's window math relies on the bound
+// being exact.
+TEST(EventQueue, RunUntilNeverRunsPastTheBound) {
+  EventQueue q;
+  int fired_late = 0;
+  EventId dead = q.schedule_at(10, [] {});
+  q.schedule_at(100, [&] { ++fired_late; });
+  q.cancel(dead);
+  q.run_until(50);
+  EXPECT_EQ(fired_late, 0) << "event at t=100 must not run in run_until(50)";
+  EXPECT_EQ(q.now(), 50u);
+  q.run_until(100);
+  EXPECT_EQ(fired_late, 1);
+}
+
 }  // namespace
 }  // namespace asp::net

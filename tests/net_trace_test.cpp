@@ -169,5 +169,34 @@ TEST(PacketTracer, CapacityBoundIsEnforced) {
   EXPECT_EQ(tracer.events().back().time, 500u);
 }
 
+
+// Regression: attach() used to capture the clock eagerly (recording time=0
+// for every arrival unless set_clock() was wired up separately). It now reads
+// the node's own queue at arrival time, so timestamps are nonzero and
+// monotone with no extra plumbing — and follow the node across shard rebinds.
+TEST(PacketTracer, AttachAloneYieldsMonotoneNonzeroTimestamps) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  net.link(a, ip("10.0.0.1"), b, ip("10.0.0.2"), 10e6, millis(1));
+
+  PacketTracer tracer;  // note: no set_clock()
+  tracer.attach(b);
+
+  UdpSocket sink(b, 7, nullptr);
+  UdpSocket src(a, 9999, nullptr);
+  for (int i = 0; i < 3; ++i) src.send_to(b.addr(), 7, bytes_of("ping"));
+  net.run();
+
+  ASSERT_EQ(tracer.events().size(), 3u);
+  SimTime prev = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    EXPECT_GT(e.time, 0u) << "arrival must carry the sim clock, not 0";
+    EXPECT_GE(e.time, prev) << "timestamps must be monotone";
+    prev = e.time;
+  }
+  EXPECT_GE(prev, millis(1)) << "at least the link delay has elapsed";
+}
+
 }  // namespace
 }  // namespace asp::net
