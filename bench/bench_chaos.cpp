@@ -16,6 +16,7 @@
 #include <string>
 
 #include "apps/audio/experiment.hpp"
+#include "bench/harness.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/deploy.hpp"
@@ -121,12 +122,17 @@ AudioChaos audio_chaos(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   obs::MetricsRegistry& reg = obs::registry();
+  // --seed=N shifts the three deploy-convergence seeds to N, N+1, N+2
+  // (default 1,2,3 — what CI asserts on).
+  const asp::bench::Options opts = asp::bench::parse_options(argc, argv);
 
-  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+  // Gauge names follow the repo-wide hierarchical scheme (DESIGN.md §6b):
+  // bench/chaos/<scenario>/<instance>/<metric>.
+  for (std::uint64_t seed = opts.seed; seed < opts.seed + 3; ++seed) {
     Convergence c = deploy_convergence(seed);
-    std::string p = "bench/chaos/deploy_seed" + std::to_string(seed) + "_";
+    std::string p = "bench/chaos/deploy/seed_" + std::to_string(seed) + "/";
     reg.gauge(p + "convergence_ms").set(std::floor(c.sim_ms));
     reg.gauge(p + "attempts").set(c.attempts);
     reg.gauge(p + "ok").set(c.ok ? 1 : 0);
@@ -136,16 +142,16 @@ int main() {
   }
 
   AudioChaos a = audio_chaos(7);
-  reg.gauge("bench/chaos/audio_frames_sent").set(static_cast<double>(a.frames_sent));
-  reg.gauge("bench/chaos/audio_frames_received")
+  reg.gauge("bench/chaos/audio/frames_sent").set(static_cast<double>(a.frames_sent));
+  reg.gauge("bench/chaos/audio/frames_received")
       .set(static_cast<double>(a.frames_received));
-  reg.gauge("bench/chaos/audio_goodput_ratio")
+  reg.gauge("bench/chaos/audio/goodput_ratio")
       .set(a.frames_sent ? static_cast<double>(a.frames_received) / a.frames_sent : 0);
-  reg.gauge("bench/chaos/audio_delivered").set(static_cast<double>(a.delivered));
-  reg.gauge("bench/chaos/audio_dropped_loss").set(static_cast<double>(a.dropped_loss));
-  reg.gauge("bench/chaos/audio_dropped_down").set(static_cast<double>(a.dropped_down));
-  reg.gauge("bench/chaos/audio_duplicated").set(static_cast<double>(a.duplicated));
-  reg.gauge("bench/chaos/audio_corrupted").set(static_cast<double>(a.corrupted));
+  reg.gauge("bench/chaos/audio/delivered").set(static_cast<double>(a.delivered));
+  reg.gauge("bench/chaos/audio/dropped_loss").set(static_cast<double>(a.dropped_loss));
+  reg.gauge("bench/chaos/audio/dropped_down").set(static_cast<double>(a.dropped_down));
+  reg.gauge("bench/chaos/audio/duplicated").set(static_cast<double>(a.duplicated));
+  reg.gauge("bench/chaos/audio/corrupted").set(static_cast<double>(a.corrupted));
 
   // In-process determinism check: the identical schedule and seed must replay
   // every per-cause count bit-for-bit (the issue's acceptance criterion).

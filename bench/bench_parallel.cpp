@@ -15,6 +15,7 @@
 
 #include "apps/audio/experiment.hpp"
 #include "apps/http/experiment.hpp"
+#include "bench/harness.hpp"
 #include "net/exec.hpp"
 #include "obs/metrics.hpp"
 
@@ -32,7 +33,7 @@ struct HttpRun {
   int shards = 1;
 };
 
-HttpRun run_http(int shards) {
+HttpRun run_http(int shards, double duration_s) {
   using namespace asp::apps;
   HttpExperiment::Options opts;
   opts.config = HttpConfig::kAspGateway;
@@ -46,7 +47,7 @@ HttpRun run_http(int shards) {
     exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
 
   auto t0 = std::chrono::steady_clock::now();
-  HttpRunResult r = exp.run(10.0);
+  HttpRunResult r = exp.run(duration_s);
   HttpRun out;
   out.ms = wall_ms(t0);
   out.completed = r.completed;
@@ -81,19 +82,26 @@ AudioRun run_audio(int shards) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --shards=N caps the sweep (serial always runs as the baseline);
+  // --duration=S sets the HTTP sim length. The audio run keeps its fixed
+  // 120 s schedule — it exists to exercise the 2-island topology.
+  const asp::bench::Options opts =
+      asp::bench::parse_options(argc, argv, {.shards = 8, .duration_s = 10.0});
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("=== Parallel executor scaling (hardware threads: %u) ===\n\n", hw);
   asp::obs::registry().gauge("bench/parallel/hardware_concurrency").set(hw);
 
-  std::printf("HTTP cluster, 8 client machines (9 islands), 10 s sim:\n");
+  std::printf("HTTP cluster, 8 client machines (9 islands), %.0f s sim:\n",
+              opts.duration_s);
   std::printf("%8s %10s %10s %10s %10s %10s\n", "shards", "wall ms", "speedup",
               "completed", "windows", "cross msg");
   double base = 0;
   std::uint64_t serial_completed = 0;
   bool deterministic = true;
   for (int s : {1, 2, 4, 8}) {
-    HttpRun r = run_http(s);
+    if (s > opts.shards && s != 1) continue;
+    HttpRun r = run_http(s, opts.duration_s);
     if (s == 1) {
       base = r.ms;
       serial_completed = r.completed;

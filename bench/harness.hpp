@@ -1,0 +1,46 @@
+// Shared CLI options for bench/ and examples/ drivers.
+//
+// Every driver that takes a shard count, an impairment seed or a run
+// duration parses them here instead of growing its own strncmp loop. Flags:
+//
+//   --shards=N       run on the sharded parallel executor (1 = serial)
+//   --seed=N         base RNG seed for impairment/chaos scenarios
+//   --duration=SECS  simulated duration (fractional seconds accepted)
+//
+// Unknown flags are left alone so google-benchmark binaries can share argv
+// with their own flag parser.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace asp::bench {
+
+struct Options {
+  int shards = 1;
+  std::uint64_t seed = 1;
+  double duration_s = 0;  // 0 = keep the driver's scenario default
+};
+
+/// Parses the shared flags out of argv. `defaults` seeds the result, so each
+/// driver keeps its own scenario defaults for anything not on the command
+/// line. Values are clamped to sane minima (shards >= 1, duration >= 0).
+inline Options parse_options(int argc, char** argv, Options defaults = {}) {
+  Options o = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--shards=", 9) == 0) {
+      o.shards = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      o.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--duration=", 11) == 0) {
+      o.duration_s = std::strtod(a + 11, nullptr);
+    }
+  }
+  if (o.shards < 1) o.shards = 1;
+  if (o.duration_s < 0) o.duration_s = 0;
+  return o;
+}
+
+}  // namespace asp::bench

@@ -5,28 +5,22 @@
 // 16-bit stereo to 8-bit mono and back — with no change to the audio
 // source or player.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "apps/audio/experiment.hpp"
+#include "bench/harness.hpp"
 #include "net/exec.hpp"
 
 using namespace asp::apps;
 
-// --shards=N runs the simulation on the sharded parallel executor (N capped
-// to the topology's 2 islands); results are bit-identical to --shards=1.
-static int parse_shards(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) return std::atoi(argv[i] + 9);
-  return 1;
-}
-
 int main(int argc, char** argv) {
-  int shards = parse_shards(argc, argv);
+  // --shards=N runs the simulation on the sharded parallel executor (N capped
+  // to the topology's 2 islands); results are bit-identical to --shards=1.
+  asp::bench::Options opts =
+      asp::bench::parse_options(argc, argv, {.duration_s = 60.0});
   AudioExperiment exp(/*adaptation=*/true);
   std::unique_ptr<asp::net::ParallelExecutor> exec;
-  if (shards > 1) {
-    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+  if (opts.shards > 1) {
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), opts.shards);
     std::printf("parallel executor: %d shard(s), %d island(s)\n", exec->shard_count(),
                 exec->island_count());
   }
@@ -37,7 +31,7 @@ int main(int argc, char** argv) {
   };
 
   std::printf("%6s %14s %10s  %s\n", "t(s)", "audio(kb/s)", "level", "quality");
-  AudioRunResult r = exp.run(60.0, schedule, 2.0);
+  AudioRunResult r = exp.run(opts.duration_s, schedule, 2.0);
   const char* names[] = {"16-bit stereo", "16-bit mono", "8-bit mono"};
   for (const AudioSample& s : r.series) {
     int level = s.level < 0 ? 0 : s.level;

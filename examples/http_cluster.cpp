@@ -4,24 +4,18 @@
 // clients talk to the virtual address, the ASP routes each connection to a
 // physical server and hides the cluster on the way back.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "apps/http/experiment.hpp"
+#include "bench/harness.hpp"
 #include "net/exec.hpp"
 
 using namespace asp::apps;
 
-// --shards=N runs the simulation on the sharded parallel executor (each
-// client machine is its own island); results are bit-identical to --shards=1.
-static int parse_shards(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) return std::atoi(argv[i] + 9);
-  return 1;
-}
-
 int main(int argc, char** argv) {
-  int shards = parse_shards(argc, argv);
+  // --shards=N runs the simulation on the sharded parallel executor (each
+  // client machine is its own island); results are bit-identical to --shards=1.
+  asp::bench::Options run_opts =
+      asp::bench::parse_options(argc, argv, {.duration_s = 15.0});
   HttpExperiment::Options opts;
   opts.config = HttpConfig::kAspGateway;
   opts.client_machines = 4;
@@ -30,13 +24,14 @@ int main(int argc, char** argv) {
 
   HttpExperiment exp(opts);
   std::unique_ptr<asp::net::ParallelExecutor> exec;
-  if (shards > 1) {
-    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), shards);
+  if (run_opts.shards > 1) {
+    exec = std::make_unique<asp::net::ParallelExecutor>(exp.network(), run_opts.shards);
     std::printf("parallel executor: %d shard(s), %d island(s)\n", exec->shard_count(),
                 exec->island_count());
   }
-  std::printf("running 15 s of trace replay against the virtual server...\n");
-  HttpRunResult r = exp.run(15.0);
+  std::printf("running %.0f s of trace replay against the virtual server...\n",
+              run_opts.duration_s);
+  HttpRunResult r = exp.run(run_opts.duration_s);
 
   std::printf("\ncompleted requests : %llu (%.1f requests/s)\n",
               static_cast<unsigned long long>(r.completed), r.requests_per_sec);

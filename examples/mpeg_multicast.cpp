@@ -7,19 +7,22 @@
 #include <cstdio>
 
 #include "apps/mpeg/experiment.hpp"
+#include "bench/harness.hpp"
 
 using namespace asp::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  asp::bench::Options opts =
+      asp::bench::parse_options(argc, argv, {.duration_s = 8.0});
   std::printf("--- without ASPs: every client opens its own stream ---\n");
   MpegExperiment base(/*sharing=*/false, 4);
-  MpegRunResult r0 = base.run(8.0);
+  MpegRunResult r0 = base.run(opts.duration_s);
   std::printf("server streams: %d, server egress: %.2f Mb/s\n", r0.server_streams,
               r0.server_egress_mbps);
 
   std::printf("\n--- with monitor + capture ASPs ---\n");
   MpegExperiment shared(/*sharing=*/true, 4);
-  MpegRunResult r1 = shared.run(8.0);
+  MpegRunResult r1 = shared.run(opts.duration_s);
   std::printf("server streams: %d, server egress: %.2f Mb/s\n", r1.server_streams,
               r1.server_egress_mbps);
   std::printf("clients playing: %d (of which %d fed by the capture ASP)\n",

@@ -483,6 +483,23 @@ class BoxPool {
     return Handle(t, Recycler{this});
   }
 
+  /// Copy-in overload: assigns straight into the recycled node, skipping the
+  /// temporary + move a `box(T(v))` call would pay. Used by batch producers
+  /// that fan one packet out into many boxes.
+  Handle box(const T& v) {
+    T* t = shared_ ? take_shared() : take_local();
+    if (t != nullptr) {
+      *t = v;
+      ++stats_.hits;
+    } else {
+      ScopedAllocTag tag(tag_);
+      ++stats_.misses;
+      t = new T(v);
+    }
+    ++stats_.live;
+    return Handle(t, Recycler{this});
+  }
+
   const PoolStats& stats() const { return stats_; }
 
  private:

@@ -4,6 +4,31 @@
 
 namespace asp::net {
 
+namespace {
+
+std::atomic<std::size_t>& default_batch_limit_slot() {
+  static std::atomic<std::size_t> limit{32};
+  return limit;
+}
+
+std::size_t clamp_batch_limit(std::size_t n) {
+  if (n < 1) return 1;
+  if (n > PacketBatch::kCapacity) return PacketBatch::kCapacity;
+  return n;
+}
+
+}  // namespace
+
+void EventQueue::set_batch_limit(std::size_t n) { batch_limit_ = clamp_batch_limit(n); }
+
+void EventQueue::set_default_batch_limit(std::size_t n) {
+  default_batch_limit_slot().store(clamp_batch_limit(n), std::memory_order_relaxed);
+}
+
+std::size_t EventQueue::default_batch_limit() {
+  return default_batch_limit_slot().load(std::memory_order_relaxed);
+}
+
 EventId EventQueue::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
   EventId id = next_id_++;
@@ -19,7 +44,16 @@ EventId EventQueue::schedule_ranked(SimTime t, SimTime sched, std::uint32_t rank
   return id;
 }
 
-bool EventQueue::pop_one() {
+EventId EventQueue::schedule_delivery(SimTime t, SimTime sched, std::uint32_t rank,
+                                      DeliverySink& sink, std::uint32_t key,
+                                      PacketBatch::Box box) {
+  assert(t >= now_ && "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Entry{t, sched, rank, id, EventFn{}, &sink, key, std::move(box)});
+  return id;
+}
+
+std::uint64_t EventQueue::pop_some(std::uint64_t max_events) {
   while (!queue_.empty()) {
     // Entries are move-only (SmallFn); top() is const&, but popping
     // immediately after makes the move-out safe — the moved-from entry never
@@ -31,15 +65,52 @@ bool EventQueue::pop_one() {
       continue;
     }
     now_ = e.time;
-    e.fn();
-    return true;
+    if (e.sink == nullptr) {
+      e.fn();
+      return 1;
+    }
+
+    // Batch drain. Safety rule (DESIGN.md §6c): an entry may join the batch
+    // only if it has the same (sink, key), the same timestamp, AND a schedule
+    // clock strictly before that timestamp. Anything a handler schedules
+    // while the batch runs carries sched == time (now_ == e.time), which
+    // sorts at-or-after every remaining member under the canonical
+    // comparator — so nothing that serial execution would have interleaved
+    // between two members can exist. Draining them together is therefore a
+    // pure reordering of *pop* operations, not of *execution* order.
+    PacketBatch batch;
+    batch.push(std::move(e.box));
+    std::uint64_t want = batch_limit_ < max_events ? batch_limit_ : max_events;
+    while (batch.size() < want && !queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (top.sink != e.sink || top.key != e.key || top.time != e.time ||
+          top.sched >= e.time) {
+        break;
+      }
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        // Media never cancel deliveries (net/batch.hpp contract), but stay
+        // robust: discard it exactly as the per-event path would have.
+        cancelled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+      batch.push(std::move(const_cast<Entry&>(top).box));
+      queue_.pop();
+    }
+    std::uint64_t n = batch.size();
+    e.sink->deliver_batch(e.key, std::move(batch));
+    return n;
   }
-  return false;
+  return 0;
 }
 
 std::uint64_t EventQueue::run(std::uint64_t limit) {
   std::uint64_t n = 0;
-  while (n < limit && pop_one()) ++n;
+  while (n < limit) {
+    std::uint64_t ran = pop_some(limit - n);
+    if (ran == 0) break;
+    n += ran;
+  }
   return n;
 }
 
@@ -62,7 +133,7 @@ std::uint64_t EventQueue::run_until(SimTime t) {
   // next_event_time() skips cancelled heads, so a cancelled entry at time
   // <= t can never smuggle in a live event scheduled past t.
   while (next_event_time() <= t) {
-    if (pop_one()) ++n;
+    n += pop_some(UINT64_MAX);
   }
   if (now_ < t) now_ = t;
   return n;

@@ -9,12 +9,14 @@
 // running. Single-shard programs are unaffected: one thread, one queue.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "mem/smallfn.hpp"
+#include "net/batch.hpp"
 #include "net/time.hpp"
 
 namespace asp::net {
@@ -33,8 +35,18 @@ using EventFn = mem::SmallFn<64>;
 /// rules coincide (now() never decreases, so FIFO ids already order by
 /// schedule clock); the distinction only matters for cross-shard merges, see
 /// schedule_merged().
+///
+/// Packet deliveries scheduled via schedule_delivery() additionally
+/// participate in BATCH DRAINING: when the head of the queue is a delivery,
+/// up to batch_limit() consecutive same-timestamp deliveries with the same
+/// (sink, key) are popped together and handed to the sink as one
+/// PacketBatch. The drain is order-preserving by construction — see the
+/// safety-rule comment on pop_some() — so any batch limit (including 1)
+/// produces byte-identical simulations.
 class EventQueue {
  public:
+  EventQueue() : batch_limit_(default_batch_limit()) {}
+
   /// Schedules `fn` to run at absolute time `t` (>= now()).
   EventId schedule_at(SimTime t, EventFn fn);
 
@@ -47,6 +59,18 @@ class EventQueue {
   /// the determinism contract's canonical order (DESIGN.md §6f).
   EventId schedule_ranked(SimTime t, SimTime sched, std::uint32_t rank, EventFn fn);
 
+  /// Schedules a batchable packet delivery: at time `t` the boxed packet is
+  /// handed to `sink` (with `key` disambiguating the sink's input), possibly
+  /// grouped with adjacent same-(sink, key, t) deliveries into one
+  /// PacketBatch. (`sched`, `rank`) is the same canonical tie-break key as
+  /// schedule_ranked — media stamp the sender clock / topo index here.
+  /// The returned id is for bookkeeping symmetry only: batched deliveries
+  /// are part of the non-cancellable delivery contract (net/batch.hpp) and
+  /// media discard it.
+  EventId schedule_delivery(SimTime t, SimTime sched, std::uint32_t rank,
+                            DeliverySink& sink, std::uint32_t key,
+                            PacketBatch::Box box);
+
   /// Schedules `fn` to run `delay` after the current time.
   EventId schedule_in(SimTime delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
@@ -56,7 +80,8 @@ class EventQueue {
   void cancel(EventId id) { cancelled_.insert(id); }
 
   /// Runs events until the queue is empty or `limit` events have run.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (each batched delivery counts as
+  /// one event per packet; a drain never collects past the remaining limit).
   std::uint64_t run(std::uint64_t limit = UINT64_MAX);
 
   /// Runs events with timestamps <= `t`; afterwards now() == t.
@@ -79,6 +104,18 @@ class EventQueue {
   /// coordinator reads this at window barriers to size the next safe window.
   SimTime next_event_time();
 
+  /// Maximum deliveries drained into one PacketBatch (clamped to
+  /// [1, PacketBatch::kCapacity]; 1 disables batching). Per-queue; new
+  /// queues start from default_batch_limit().
+  void set_batch_limit(std::size_t n);
+  std::size_t batch_limit() const { return batch_limit_; }
+
+  /// Process-wide default applied to queues constructed afterwards (the
+  /// parallel executor's shard queues inherit it too). Tests sweep this to
+  /// prove batched-vs-single equivalence.
+  static void set_default_batch_limit(std::size_t n);
+  static std::size_t default_batch_limit();
+
  private:
   // Capture budget: `fn` stores its capture inline up to EventFn::kInlineBytes
   // (64 bytes — a `this` pointer plus several shared_ptrs, or a pooled
@@ -87,12 +124,19 @@ class EventQueue {
   // mem/event/heap_captures. When a callback needs a Packet, move it into
   // net::packet_boxes() and capture the pointer-sized box handle instead of
   // the ~150-byte Packet (see medium.cpp / node.cpp).
+  //
+  // Delivery entries bypass `fn` entirely: they carry (sink, key, box)
+  // directly so the batch drain can move the boxes out without invoking
+  // anything.
   struct Entry {
     SimTime time;
     SimTime sched;       // clock when scheduled (sender clock for deliveries)
     std::uint32_t rank;  // sender topo index for p2p deliveries, else max
     EventId id;
     EventFn fn;
+    DeliverySink* sink = nullptr;  // non-null: batchable delivery entry
+    std::uint32_t key = 0;
+    PacketBatch::Box box{};
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -103,10 +147,14 @@ class EventQueue {
     }
   };
 
-  bool pop_one();
+  /// Pops and executes the next runnable event; a delivery head may drain up
+  /// to min(batch_limit_, max_events) entries as one batch. Returns the
+  /// number of events executed (0 when the queue is empty).
+  std::uint64_t pop_some(std::uint64_t max_events);
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  std::size_t batch_limit_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
 };

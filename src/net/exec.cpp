@@ -265,12 +265,12 @@ void ParallelExecutor::merge_mailboxes() {
       // Reconstruct the canonical delivery key — (sender transmit clock,
       // sender topo index) — that the serial path stamps in
       // PointToPointLink::schedule_delivery, so a merged delivery sorts
-      // exactly where the serial run would have put it.
-      sh.queue->schedule_ranked(
-          m->arrival, m->sent, m->sender_topo,
-          [link, end, box = packet_boxes().box(std::move(m->packet))]() mutable {
-            link->deliver_arrival(end, std::move(*box));
-          });
+      // exactly where the serial run would have put it. Scheduled as a
+      // batchable delivery entry: merged frames take the same batch-drain
+      // path as local ones.
+      sh.queue->schedule_delivery(m->arrival, m->sent, m->sender_topo, *link,
+                                  static_cast<std::uint32_t>(end),
+                                  packet_boxes().box(std::move(m->packet)));
       delete m;
       ++stats_.cross_messages;
     }

@@ -85,27 +85,41 @@ void PointToPointLink::deliver_arrival(int end, Packet&& p) {
   in.node()->receive(std::move(p), in);
 }
 
+void PointToPointLink::deliver_batch(std::uint32_t key, PacketBatch&& batch) {
+  const int end = static_cast<int>(key);
+  if (!link_up()) {  // partition started while the frames were in flight
+    // link_up_ only flips from scheduled events, which the batch drain never
+    // crosses (they fail the same-(sink,key,time) predicate), so one check
+    // covers — and disposes of — the whole batch, exactly as N serial checks
+    // would have.
+    for (std::size_t i = 0; i < batch.size(); ++i) count_drop_down();
+    return;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) note_delivered(batch[i]);
+  Interface& in = *ends_[end];
+  in.node()->receive_batch(std::move(batch), in);
+}
+
 void PointToPointLink::schedule_delivery(Interface* to, Packet&& p, SimTime arrival) {
   const int end = (to == ends_[0]) ? 0 : 1;
   if (cross_[end]) {
     // Receiving end lives on another shard: hand the frame to its mailbox
-    // (the executor merges and schedules deliver_arrival over there).
+    // (the executor merges and schedules the delivery over there).
     cross_[end](arrival, std::move(p));
     return;
   }
-  // The in-flight Packet rides in a pooled box so the capture (this, end,
-  // box handle) stays within the EventFn inline budget — a direct
-  // `p = std::move(p)` capture would heap-allocate per frame.
+  // The in-flight Packet rides in a pooled box; the delivery entry carries
+  // (sink=this, key=end, box) directly, so the queue's batch drain can group
+  // it with adjacent same-destination deliveries (net/batch.hpp).
   //
-  // schedule_ranked, not schedule_at: p2p deliveries carry the canonical
-  // (sender clock, sender topo index) tie-break so serial and sharded runs
-  // order same-nanosecond deliveries identically (the cross-shard path above
-  // reconstructs exactly this key when the mailbox is merged).
+  // schedule_delivery stamps the canonical (sender clock, sender topo index)
+  // tie-break so serial and sharded runs order same-nanosecond deliveries
+  // identically (the cross-shard path above reconstructs exactly this key
+  // when the mailbox is merged).
   Node* sender = ends_[1 - end]->node();
-  events_->schedule_ranked(arrival, sender->events().now(), sender->topo_index(),
-                           [this, end, box = packet_boxes().box(std::move(p))]() mutable {
-                             deliver_arrival(end, std::move(*box));
-                           });
+  events_->schedule_delivery(arrival, sender->events().now(), sender->topo_index(),
+                             *this, static_cast<std::uint32_t>(end),
+                             packet_boxes().box(std::move(p)));
 }
 
 void PointToPointLink::transmit(Interface& from, Packet p) {
@@ -149,13 +163,51 @@ void PointToPointLink::transmit(Interface& from, Packet p) {
 
 void EthernetSegment::schedule_delivery(const Interface* from, Packet&& p,
                                         SimTime arrival) {
-  events_->schedule_at(arrival, [this, from, box = packet_boxes().box(std::move(p))]() mutable {
-    if (!link_up()) {
-      count_drop_down();
-      return;
+  // Same (sched=now, rank=max) tie-break key the plain schedule_at path
+  // stamped before deliveries became batchable: segment frames keep sorting
+  // exactly where they always did. key = the sender's slot, so only frames
+  // from the same station share a batch.
+  events_->schedule_delivery(arrival, events_->now(), UINT32_MAX, *this,
+                             from->medium_slot(), packet_boxes().box(std::move(p)));
+}
+
+void EthernetSegment::deliver_batch(std::uint32_t key, PacketBatch&& batch) {
+  const Interface& from = *ifaces_.at(key);
+  if (!link_up()) {  // same single-check argument as PointToPointLink
+    for (std::size_t i = 0; i < batch.size(); ++i) count_drop_down();
+    return;
+  }
+  // A promiscuous listener sees every frame, interleaved with the addressed
+  // receiver in serial order — regrouping would reorder, so fall back.
+  bool promiscuous = false;
+  for (const Interface* iface : ifaces_) promiscuous |= iface->promiscuous();
+
+  PacketBatch group;
+  Interface* group_target = nullptr;
+  auto flush = [&] {
+    if (group.empty()) return;
+    group_target->node()->receive_batch(std::move(group), *group_target);
+    group = PacketBatch{};
+  };
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Packet& p = batch[i];
+    if (p.ip.dst.is_multicast() || promiscuous) {
+      flush();
+      deliver(from, std::move(p));
+      continue;
     }
-    deliver(*from, std::move(*box));
-  });
+    Interface* target = unicast_target(from, p);
+    if (target == nullptr) {
+      flush();
+      count_drop_unaddressed();
+      continue;
+    }
+    if (target != group_target) flush();
+    group_target = target;
+    note_delivered(p);
+    group.push(batch.take(i));
+  }
+  flush();
 }
 
 void EthernetSegment::transmit(Interface& from, Packet p) {
@@ -190,6 +242,19 @@ void EthernetSegment::transmit(Interface& from, Packet p) {
   schedule_delivery(sender, std::move(p), busy_until_ + delay_ + plan.extra[0]);
 }
 
+Interface* EthernetSegment::unicast_target(const Interface& from,
+                                           const Packet& p) const {
+  Ipv4Addr l2 = p.l2_next_hop.is_unspecified() ? p.ip.dst : p.l2_next_hop;
+  for (Interface* iface : ifaces_) {
+    if (iface != &from && iface->addr() == l2) return iface;
+  }
+  // No station owns the L2 address: fall back to the first gateway.
+  for (Interface* iface : ifaces_) {
+    if (iface != &from && iface->gateway()) return iface;
+  }
+  return nullptr;
+}
+
 void EthernetSegment::deliver(const Interface& from, Packet&& p) {
   // Fan-out discipline: every receiver but the last gets a COW copy (aliasing
   // the one payload buffer); the final receiver gets the packet moved in.
@@ -215,23 +280,7 @@ void EthernetSegment::deliver(const Interface& from, Packet&& p) {
     return;
   }
 
-  Ipv4Addr l2 = p.l2_next_hop.is_unspecified() ? p.ip.dst : p.l2_next_hop;
-  Interface* target = nullptr;
-  for (Interface* iface : ifaces_) {
-    if (iface != &from && iface->addr() == l2) {
-      target = iface;
-      break;
-    }
-  }
-  if (target == nullptr) {
-    // No station owns the L2 address: fall back to the first gateway.
-    for (Interface* iface : ifaces_) {
-      if (iface != &from && iface->gateway()) {
-        target = iface;
-        break;
-      }
-    }
-  }
+  Interface* target = unicast_target(from, p);
   // Promiscuous listeners see every frame regardless of addressing.
   for (Interface* iface : ifaces_) {
     if (iface != &from && iface != target && iface->promiscuous()) hand_copy(iface);

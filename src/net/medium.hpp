@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "net/batch.hpp"
 #include "net/event.hpp"
 #include "net/impairments.hpp"
 #include "net/meter.hpp"
@@ -68,9 +69,16 @@ class Interface {
   std::uint64_t tx_packets() const { return tx_packets_; }
   void note_tx(SimTime now, std::size_t bytes);  // defined in medium.cpp (needs Node)
 
+  /// Attachment slot on the owning medium (set by the medium at attach time).
+  /// Media use it as the batch-drain `key` identifying the sender, so two
+  /// frames from the same station can share a PacketBatch.
+  std::uint32_t medium_slot() const { return medium_slot_; }
+  void set_medium_slot(std::uint32_t s) { medium_slot_ = s; }
+
  private:
   Node* node_;
   int index_;
+  std::uint32_t medium_slot_ = 0;
   Medium* medium_ = nullptr;
   Ipv4Addr addr_;
   bool promiscuous_ = false;
@@ -240,7 +248,7 @@ class Medium {
 /// parallel executor: its delay() becomes cross-shard lookahead, and each
 /// direction's deliveries are posted to the receiving shard's mailbox
 /// through the installed poster instead of the local queue.
-class PointToPointLink : public Medium {
+class PointToPointLink : public Medium, public DeliverySink {
  public:
   PointToPointLink(EventQueue& events, std::string name, double bits_per_sec,
                    SimTime delay, std::uint64_t queue_capacity_bytes = 64 * 1024)
@@ -272,6 +280,11 @@ class PointToPointLink : public Medium {
   /// run it on the receiving shard at the merged arrival time.
   void deliver_arrival(int end, Packet&& p);
 
+  /// Batched arrival (DeliverySink): every member is bound for end `key`;
+  /// per-packet link-state checks and delivered accounting run in canonical
+  /// order, then the whole batch enters the node in one call.
+  void deliver_batch(std::uint32_t key, PacketBatch&& batch) override;
+
  private:
   void schedule_delivery(Interface* to, Packet&& p, SimTime arrival);
 
@@ -286,7 +299,7 @@ class PointToPointLink : public Medium {
 /// the same capacity; frames are addressed by IP (our L2 is implicit ARP).
 /// Never cut: busy_until_ and the RNG stream are shared by every station, so
 /// the partitioner keeps all attached nodes on one shard.
-class EthernetSegment : public Medium {
+class EthernetSegment : public Medium, public DeliverySink {
  public:
   EthernetSegment(EventQueue& events, std::string name, double bits_per_sec,
                   SimTime delay = micros(50),
@@ -294,6 +307,7 @@ class EthernetSegment : public Medium {
       : Medium(events, std::move(name), bits_per_sec, delay, queue_capacity_bytes) {}
 
   void attach(Interface& iface) {
+    iface.set_medium_slot(static_cast<std::uint32_t>(ifaces_.size()));
     ifaces_.push_back(&iface);
     iface.attach(this);
   }
@@ -302,9 +316,19 @@ class EthernetSegment : public Medium {
 
   const std::vector<Interface*>& interfaces() const { return ifaces_; }
 
+  /// Batched arrival (DeliverySink): `key` is the sending station's slot.
+  /// Consecutive unicast frames resolving to the same receiver are regrouped
+  /// into one per-node batch; multicast frames and segments with promiscuous
+  /// listeners fall back to the per-frame fan-out (their serial order
+  /// interleaves receivers, which a receiver-major regrouping would break).
+  void deliver_batch(std::uint32_t key, PacketBatch&& batch) override;
+
  private:
   void schedule_delivery(const Interface* from, Packet&& p, SimTime arrival);
   void deliver(const Interface& from, Packet&& p);
+  /// Unicast receiver for `p` sent by `from` (L2 hint, then gateway
+  /// fallback), or nullptr when no station claims it.
+  Interface* unicast_target(const Interface& from, const Packet& p) const;
 
   std::vector<Interface*> ifaces_;
   SimTime busy_until_ = 0;  // shared medium

@@ -81,6 +81,12 @@ class Node {
   /// Hook result: consumed (the ASP handled the packet) or pass-through.
   using IpHook = std::function<bool(Packet&, Interface&)>;
 
+  /// Batch hook: takes over the ENTIRE receive path for a PacketBatch. The
+  /// installer must, for each packet in order: call note_rx(), dispatch, and
+  /// route non-consumed packets through standard_ip() — that contract is what
+  /// keeps batched and per-packet runs byte-identical (DESIGN.md §6c).
+  using IpBatchHook = std::function<void(PacketBatch&&, Interface&)>;
+
   Node(EventQueue& events, std::string name);
   ~Node();
   Node(const Node&) = delete;
@@ -126,7 +132,18 @@ class Node {
   }
 
   /// Installs/clears the PLAN-P intercept for packets entering the IP layer.
-  void set_ip_hook(IpHook hook) { ip_hook_ = std::move(hook); }
+  /// Redefines the whole packet path: any batch hook is cleared, because a
+  /// batch hook is only valid as the batched form of the CURRENT single-packet
+  /// hook (an installer that has one calls set_ip_batch_hook afterwards).
+  void set_ip_hook(IpHook hook) {
+    ip_hook_ = std::move(hook);
+    ip_batch_hook_ = nullptr;
+  }
+
+  /// Installs/clears the batched intercept (see IpBatchHook contract). Call
+  /// after set_ip_hook — it must stay semantically paired with the single
+  /// hook. Without one, receive_batch() degrades to per-packet receive().
+  void set_ip_batch_hook(IpBatchHook hook) { ip_batch_hook_ = std::move(hook); }
 
   /// Pure observers invoked on every received packet, before the hook
   /// (measurement taps for experiments; cannot consume or modify). Taps
@@ -147,6 +164,22 @@ class Node {
 
   /// Entry point from a medium: a packet arrived on `in`.
   void receive(Packet p, Interface& in);
+
+  /// Entry point from a medium's batch drain: every member arrived on `in`
+  /// at the same timestamp, in canonical order.
+  void receive_batch(PacketBatch&& batch, Interface& in);
+
+  /// Receive-side accounting + rx taps for one packet — the first half of
+  /// receive(). Public for IpBatchHook installers, which must run it per
+  /// packet before dispatching (so taps observe batched and per-packet runs
+  /// identically).
+  void note_rx(const Packet& p, Interface& in);
+
+  /// Standard IP processing — the second half of receive(), everything after
+  /// the PLAN-P hook declined the packet: multicast handling, local delivery,
+  /// router forwarding. Public for IpBatchHook installers, which must feed
+  /// every non-consumed packet through here in order.
+  void standard_ip(Packet p, Interface& in);
 
   /// Sends a locally generated IP packet (routes, then transmits). Packets
   /// addressed to this node loop back to local delivery.
@@ -192,6 +225,7 @@ class Node {
   std::set<Ipv4Addr> groups_;
   std::map<Ipv4Addr, std::vector<int>> mroutes_;
   IpHook ip_hook_;
+  IpBatchHook ip_batch_hook_;
   std::vector<RxTap> rx_taps_;
   std::map<std::uint16_t, UdpSocket*> udp_ports_;
   std::unique_ptr<TcpStack> tcp_;

@@ -229,8 +229,14 @@ class Compiler {
         } else {
           emit_expr(*e.args[0]);
         }
-        emit(Op::kSend, static_cast<std::int32_t>(e.send_kind),
-             constant(Value::of_string(e.name)), -1);
+        const std::int32_t name_idx = constant(Value::of_string(e.name));
+        // Intern the channel id now so the VM's kSend never hashes the name.
+        if (out_.const_tags.size() < out_.consts.size()) {
+          out_.const_tags.resize(out_.consts.size(), 0);
+        }
+        out_.const_tags[static_cast<std::size_t>(name_idx)] =
+            net::ChannelTags::intern(e.name);
+        emit(Op::kSend, static_cast<std::int32_t>(e.send_kind), name_idx, -1);
         emit(Op::kConst, constant(Value::unit()), 0, +1);
         return;
       }
@@ -482,11 +488,11 @@ Value VmEngine::run_block(const CodeBlock& block, mem::FrameArena<Value>::Frame&
           case Op::kSend: {
             Value pkt = std::move(stack.back());
             stack.pop_back();
-            const std::string& chan =
-                prog_.consts[static_cast<std::size_t>(in.b)].as_string();
+            const std::uint32_t tag =
+                prog_.const_tags[static_cast<std::size_t>(in.b)];
             switch (static_cast<SendKind>(in.a)) {
-              case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
-              case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
+              case SendKind::kOnRemote: env_.on_remote(tag, pkt); break;
+              case SendKind::kOnNeighbor: env_.on_neighbor(tag, pkt); break;
               case SendKind::kDeliver: env_.deliver(pkt); break;
               case SendKind::kDrop: env_.drop(); break;
             }

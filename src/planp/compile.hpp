@@ -58,6 +58,11 @@ struct CodeBlock {
 struct CompiledProgram {
   const CheckedProgram* source = nullptr;
   std::vector<Value> consts;
+  /// Interned net::ChannelTags ids, parallel to `consts`: const_tags[b] is
+  /// the tag of the channel name consts[b] names, filled at kSend emission.
+  /// The VM sends by integer id, so the packet path never hashes a name
+  /// (the JIT goes one step further and patches the id into the template).
+  std::vector<std::uint32_t> const_tags;
   std::vector<CodeBlock> global_inits;    // one per top-level val
   std::vector<CodeBlock> functions;       // per user function
   std::vector<CodeBlock> channel_bodies;  // per channel

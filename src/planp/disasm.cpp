@@ -71,6 +71,9 @@ const char* jop_name(std::int32_t op) {
     case jop::kCallPrim1L: return "CallPrim1L*";
     case jop::kEqConst: return "EqConst*";
     case jop::kReturnLocal: return "ReturnLocal*";
+    case jop::kSendConst: return "SendConst*";
+    case jop::kAddConstLocal: return "AddConstLocal*";
+    case jop::kReturnPairLocal: return "ReturnPairLocal*";
   }
   return "?";
 }
@@ -212,6 +215,17 @@ std::string disassemble(const JitBlock& block) {
       case jop::kSend:
         out += fmt(" kind=%d chan=%s", in.a,
                    in.k != nullptr ? in.k->str().c_str() : "?");
+        break;
+      case jop::kSendConst:
+        out += fmt(" kind=%d tag=%d ; %s", in.a, in.b,
+                   in.k != nullptr ? in.k->str().c_str() : "?");
+        break;
+      case jop::kAddConstLocal:
+        out += fmt(" local %d ; %s", in.a,
+                   in.k != nullptr ? in.k->str().c_str() : "?");
+        break;
+      case jop::kReturnPairLocal:
+        out += fmt(" local %d", in.a);
         break;
       default:
         break;

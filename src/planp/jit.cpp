@@ -35,7 +35,53 @@ int compare_values(const Value& a, const Value& b) {
   return x < y ? -1 : (x > y ? 1 : 0);
 }
 
+/// Does the block ever read local slot `slot`? Channel bodies keep the packet
+/// in slot 2, so a false answer means the body is packet-oblivious and the
+/// dispatcher can skip payload decoding (match-only classification). Function
+/// calls are covered transitively: a callee only sees the packet if the
+/// caller loaded slot 2 to pass it, which this scan catches.
+bool block_reads_local(const JitBlock& b, std::int32_t slot) {
+  for (const SInstr& s : b.code) {
+    switch (s.op) {
+      case jop::kLoadLocal:
+      case jop::kStoreLocal:
+      case jop::kProjLocal:
+      case jop::kCallPrim1L:
+      case jop::kReturnLocal:
+      case jop::kAddConstLocal:
+      case jop::kReturnPairLocal:
+        if (s.a == slot) return true;
+        break;
+      case jop::kMoveField:
+        // a = source slot, high bits of b = destination slot.
+        if (s.a == slot || (s.b >> 16) == slot) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+/// Install-time-prepared dispatch handle: the body block is resolved once
+/// (no .at() per packet) and packet use is pre-analyzed, so the match-action
+/// dispatcher can enter specialized code directly for each run of a batch.
+class JitEngine::PreparedChannel : public Engine::Channel {
+ public:
+  PreparedChannel(JitEngine& e, const JitBlock& body)
+      : engine_(e), body_(body), packet_used_(block_reads_local(body, 2)) {}
+  bool packet_used() const override { return packet_used_; }
+  Value run(const Value& ps, const Value& ss, const Value& packet) override {
+    return engine_.run_channel_body(body_, ps, ss, packet);
+  }
+
+ private:
+  JitEngine& engine_;
+  const JitBlock& body_;
+  bool packet_used_;
+};
 
 JitBlock specialize_block(const CodeBlock& block, const CompiledProgram& prog,
                           bool fuse) {
@@ -124,6 +170,57 @@ JitBlock specialize_block(const CodeBlock& block, const CompiledProgram& prog,
       i += 2;
       continue;
     }
+    // Const v; Send  =>  SendConst (the sent value is patched into the
+    // template; the common `drop()` / `deliver(v)` shapes never touch the
+    // stack at all)
+    if (in.op == Op::kConst && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kSend) {
+      s.op = jop::kSendConst;
+      s.a = code[i + 1].a;  // SendKind
+      s.k = konst(in.a);    // the value being sent
+      // interned channel id, as for kSend below
+      s.b = static_cast<std::int32_t>(net::ChannelTags::intern(
+          prog.consts[static_cast<std::size_t>(code[i + 1].b)].as_string()));
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+    // Const; Pop  =>  nothing (dead sequence value, e.g. the unit a send
+    // pushes when its result is discarded by `;`)
+    if (in.op == Op::kConst && i + 1 < code.size() && fusible(i + 1) &&
+        code[i + 1].op == Op::kPop) {
+      new_pc[i + 1] = new_pc[i];
+      i += 2;
+      continue;
+    }
+    // LoadLocal x; Const k; Add  =>  AddConstLocal
+    if (in.op == Op::kLoadLocal && i + 2 < code.size() && fusible(i + 1) &&
+        fusible(i + 2) && code[i + 1].op == Op::kConst &&
+        code[i + 2].op == Op::kBinOp &&
+        static_cast<BinCode>(code[i + 2].a) == BinCode::kAdd) {
+      s.op = jop::kAddConstLocal;
+      s.a = in.a;
+      s.k = konst(code[i + 1].a);
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      new_pc[i + 2] = new_pc[i];
+      i += 3;
+      continue;
+    }
+    // LoadLocal y; MakeTuple 2; Return  =>  ReturnPairLocal — the dominant
+    // channel epilogue `(ps', ss)` becomes one template
+    if (in.op == Op::kLoadLocal && i + 2 < code.size() && fusible(i + 1) &&
+        fusible(i + 2) && code[i + 1].op == Op::kMakeTuple &&
+        code[i + 1].a == 2 && code[i + 2].op == Op::kReturn) {
+      s.op = jop::kReturnPairLocal;
+      s.a = in.a;
+      out.code.push_back(s);
+      new_pc[i + 1] = new_pc[i];
+      new_pc[i + 2] = new_pc[i];
+      i += 3;
+      continue;
+    }
 
     // --- 1:1 templates ---------------------------------------------------------
     switch (in.op) {
@@ -160,6 +257,11 @@ JitBlock specialize_block(const CodeBlock& block, const CompiledProgram& prog,
         s.op = jop::kSend;
         s.a = in.a;
         s.k = konst(in.b);
+        // Patch the interned channel id in at specialization time: the send
+        // handler then dispatches by integer tag, never hashing the name on
+        // the packet path. (Deliver/drop carry the empty name, tag 0.)
+        s.b = static_cast<std::int32_t>(
+            net::ChannelTags::intern(s.k->as_string()));
         break;
       case Op::kReturn: s.op = jop::kReturn; break;
     }
@@ -238,6 +340,13 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
     }
   }
 
+  // Prepared dispatch handles, one per channel. channel_bodies_ is frozen
+  // from here on, so the handles can keep direct block references.
+  prepared_.reserve(channel_bodies_.size());
+  for (const JitBlock& b : channel_bodies_) {
+    prepared_.push_back(std::make_unique<PreparedChannel>(*this, b));
+  }
+
   // Figure 3 in registry form: specialization cost per JIT construction.
   obs::MetricsRegistry& reg = obs::registry();
   reg.histogram("planp/jit/codegen_us").observe(stats_.generation_ms * 1000.0);
@@ -252,6 +361,8 @@ JitEngine::JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse)
     globals_.push_back(run_block(b, buf));
   }
 }
+
+JitEngine::~JitEngine() = default;
 
 JitEngine::Buffers& JitEngine::buffer_at(int depth) {
   return arena_.at_depth(static_cast<std::size_t>(depth));
@@ -270,7 +381,16 @@ Value JitEngine::init_state(int chan_idx) {
 
 Value JitEngine::run_channel(int chan_idx, const Value& ps, const Value& ss,
                              const Value& packet) {
-  const JitBlock& b = channel_bodies_.at(static_cast<std::size_t>(chan_idx));
+  return run_channel_body(channel_bodies_.at(static_cast<std::size_t>(chan_idx)),
+                          ps, ss, packet);
+}
+
+Engine::Channel* JitEngine::channel(int chan_idx) {
+  return prepared_.at(static_cast<std::size_t>(chan_idx)).get();
+}
+
+Value JitEngine::run_channel_body(const JitBlock& b, const Value& ps,
+                                  const Value& ss, const Value& packet) {
   Buffers& buf = buffer_at(depth_);
   std::size_t slots = static_cast<std::size_t>(std::max(b.frame_slots, 3));
   buf.locals.resize(slots);
@@ -318,7 +438,8 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
       &&lbl_kMod,       &&lbl_kEq,        &&lbl_kNe,         &&lbl_kLt,
       &&lbl_kLe,        &&lbl_kGt,        &&lbl_kGe,         &&lbl_kConcat,
       &&lbl_kProjLocal, &&lbl_kMoveField, &&lbl_kCallPrim1L, &&lbl_kEqConst,
-      &&lbl_kReturnLocal,
+      &&lbl_kReturnLocal, &&lbl_kSendConst, &&lbl_kAddConstLocal,
+      &&lbl_kReturnPairLocal,
   };
   if (table_out != nullptr) {
     *table_out = kLabels;
@@ -514,10 +635,14 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
         VM_CASE(kSend) : {
           Value pkt = std::move(stack.back());
           stack.pop_back();
-          const std::string& chan = in->k->as_string();
+          // in->b holds the channel id interned at specialization time.
           switch (static_cast<SendKind>(in->a)) {
-            case SendKind::kOnRemote: env_.on_remote(chan, pkt); break;
-            case SendKind::kOnNeighbor: env_.on_neighbor(chan, pkt); break;
+            case SendKind::kOnRemote:
+              env_.on_remote(static_cast<std::uint32_t>(in->b), pkt);
+              break;
+            case SendKind::kOnNeighbor:
+              env_.on_neighbor(static_cast<std::uint32_t>(in->b), pkt);
+              break;
             case SendKind::kDeliver: env_.deliver(pkt); break;
             case SendKind::kDrop: env_.drop(); break;
           }
@@ -546,6 +671,28 @@ Value JitEngine::run_block(const JitBlock& block, Buffers& buf,
         VM_CASE(kEqConst) : stack.back() = Value::of_bool(stack.back().equals(*in->k));
         VM_DISPATCH();
         VM_CASE(kReturnLocal) : return locals[static_cast<std::size_t>(in->a)];
+        VM_CASE(kSendConst) : {
+          switch (static_cast<SendKind>(in->a)) {
+            case SendKind::kOnRemote:
+              env_.on_remote(static_cast<std::uint32_t>(in->b), *in->k);
+              break;
+            case SendKind::kOnNeighbor:
+              env_.on_neighbor(static_cast<std::uint32_t>(in->b), *in->k);
+              break;
+            case SendKind::kDeliver: env_.deliver(*in->k); break;
+            case SendKind::kDrop: env_.drop(); break;
+          }
+        }
+        VM_DISPATCH();
+        VM_CASE(kAddConstLocal) : stack.push_back(Value::of_int(
+            locals[static_cast<std::size_t>(in->a)].as_int() + in->k->as_int()));
+        VM_DISPATCH();
+        VM_CASE(kReturnPairLocal) : {
+          Value first = std::move(stack.back());
+          stack.pop_back();
+          return Value::of_pair(std::move(first),
+                                locals[static_cast<std::size_t>(in->a)]);
+        }
 
 #if !ASP_JIT_THREADED
         default:

@@ -79,6 +79,9 @@ enum : std::int32_t {
   kCallPrim1L,   // push prim(locals[a])
   kEqConst,      // top = (top == *k)
   kReturnLocal,  // return locals[a]
+  kSendConst,      // send(*k) with kind a / channel tag b, no stack traffic
+  kAddConstLocal,  // push locals[a] + *k
+  kReturnPairLocal,  // return (pop(), locals[a])
   kCount,
 };
 }  // namespace jop
@@ -109,10 +112,15 @@ class JitEngine : public Engine {
  public:
   /// `fuse=false` disables superinstruction fusion (ablation studies).
   JitEngine(const CompiledProgram& prog, EnvApi& env, bool fuse = true);
+  ~JitEngine() override;  // out of line: PreparedChannel is incomplete here
 
   Value init_state(int chan_idx) override;
   Value run_channel(int chan_idx, const Value& ps, const Value& ss,
                     const Value& packet) override;
+  /// Prepared handle with the body block pre-resolved and the packet-use
+  /// flag computed (a body that never reads its packet local lets the
+  /// dispatcher skip payload decoding — match-only classification).
+  Channel* channel(int chan_idx) override;
   const CheckedProgram& program() const override { return *prog_.source; }
   const char* engine_name() const override { return "jit"; }
 
@@ -132,6 +140,11 @@ class JitEngine : public Engine {
   Value run_block(const JitBlock& block, Buffers& buf,
                   const void* const** table_out = nullptr);
   Buffers& buffer_at(int depth);
+  /// run_channel with the body block already resolved (prepared channels).
+  Value run_channel_body(const JitBlock& b, const Value& ps, const Value& ss,
+                         const Value& packet);
+
+  class PreparedChannel;
 
   const CompiledProgram& prog_;
   EnvApi& env_;
@@ -139,6 +152,7 @@ class JitEngine : public Engine {
   std::vector<JitBlock> functions_;
   std::vector<JitBlock> channel_bodies_;
   std::vector<JitBlock> channel_inits_;
+  std::vector<std::unique_ptr<PreparedChannel>> prepared_;
   mem::FrameArena<Value> arena_;
   int depth_ = 0;
   CodegenStats stats_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "net/packet.hpp"
 #include "net/time.hpp"
 #include "planp/types.hpp"
 #include "planp/value.hpp"
@@ -46,6 +47,18 @@ class EnvApi {
   virtual void on_neighbor(const std::string& channel, const Value& packet) = 0;
   virtual void deliver(const Value& packet) = 0;
   virtual void drop() = 0;
+
+  // Interned-id sends: the compiled engines (VM, JIT) resolve the channel
+  // name to a net::ChannelTags id once at compile/specialization time and
+  // emit through these, so the per-packet path never hashes a std::string.
+  // The defaults round-trip through the string API for environments that
+  // only implement that (tests, NullEnv); the ASP runtime overrides them.
+  virtual void on_remote(std::uint32_t chan_tag, const Value& packet) {
+    on_remote(net::ChannelTags::name_of(chan_tag), packet);
+  }
+  virtual void on_neighbor(std::uint32_t chan_tag, const Value& packet) {
+    on_neighbor(net::ChannelTags::name_of(chan_tag), packet);
+  }
 };
 
 /// EnvApi that ignores sends and collects prints; for tests and pure bench.

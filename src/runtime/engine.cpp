@@ -15,6 +15,7 @@ AspRuntime::AspRuntime(asp::net::Node& node) : node_(node) {
   m_dropped_ = &reg.counter(metric_prefix_ + "packets_dropped");
   m_errors_ = &reg.counter(metric_prefix_ + "runtime_errors");
   m_handle_us_ = &reg.histogram(metric_prefix_ + "handle_us");
+  network_tag_ = asp::net::ChannelTags::intern("network");
   base_ = RuntimeStats{m_handled_->value(), m_passed_->value(), m_sent_->value(),
                        m_dropped_->value(), m_errors_->value()};
 }
@@ -29,12 +30,6 @@ RuntimeStats AspRuntime::stats() const {
 
 AspRuntime::~AspRuntime() {
   if (cur_ != nullptr) uninstall();
-}
-
-std::size_t AspRuntime::DispatchIndex::proto_slot(const asp::net::Packet& p) {
-  if (p.tcp && p.ip.proto == asp::net::IpProto::kTcp) return 1;
-  if (p.udp && p.ip.proto == asp::net::IpProto::kUdp) return 2;
-  return 0;
 }
 
 planp::Protocol& AspRuntime::install(const std::string& source,
@@ -71,36 +66,26 @@ planp::Protocol& AspRuntime::install(const std::string& source,
         &obs::registry().counter(metric_prefix_ + "channel/" + c->name + "/handled"));
   }
 
-  // Build the dispatch index: channel name -> interned tag id, header shape
-  // -> slot lists. A channel whose packet type names a transport (`ip*tcp*…`)
-  // can only ever match packets of that shape, so it is filed under that slot
-  // alone; header-only channels (`ip*…`) accept any shape.
-  for (std::size_t i = 0; i < channels.size(); ++i) {
-    const planp::ChannelDef& c = *channels[i];
-    std::uint32_t tag = asp::net::ChannelTags::intern(c.name);
-    DispatchIndex::Entry& e = inst->index.by_tag[tag];
-    const auto& parts = c.packet_type->args();
-    const std::uint16_t idx = static_cast<std::uint16_t>(i);
-    if (parts.size() > 1 && parts[1]->is(planp::Type::Kind::kTcp)) {
-      e.by_proto[1].push_back(idx);
-    } else if (parts.size() > 1 && parts[1]->is(planp::Type::Kind::kUdp)) {
-      e.by_proto[2].push_back(idx);
-    } else {
-      for (auto& slot : e.by_proto) slot.push_back(idx);
-    }
-  }
-  inst->index.untagged =
-      inst->index.lookup(asp::net::ChannelTags::intern("network"));
+  // Compile the match-action table: channel name -> interned tag id, header
+  // shape -> prepared action lists, each action carrying its decode plan,
+  // engine entry point and metric handle (DESIGN.md §6c).
+  inst->table = MatchActionTable::build(inst->proto->checked(),
+                                        inst->proto->engine(), channel_counters_);
 
   cur_ = std::move(inst);
   node_.set_ip_hook([this](asp::net::Packet& p, asp::net::Interface& in) {
     return on_packet(p, &in);
   });
+  node_.set_ip_batch_hook(
+      [this](asp::net::PacketBatch&& batch, asp::net::Interface& in) {
+        on_batch(std::move(batch), &in);
+      });
   return *cur_->proto;
 }
 
 void AspRuntime::uninstall() {
   node_.set_ip_hook(nullptr);
+  node_.set_ip_batch_hook(nullptr);
   ++generation_;
   if (dispatch_depth_ > 0 && cur_ != nullptr) {
     retired_.push_back(std::move(cur_));  // keep the executing engine alive
@@ -111,60 +96,72 @@ void AspRuntime::uninstall() {
 
 bool AspRuntime::inject(asp::net::Packet p) { return on_packet(p, nullptr); }
 
-bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
-  if (cur_ == nullptr) return false;
-  Installed* inst = cur_.get();  // stays alive via retired_ across reinstalls
-  planp::Protocol* proto = inst->proto.get();
-  std::uint64_t generation = generation_;
-  const auto& channels = proto->checked().channels;
+std::size_t AspRuntime::inject_batch(asp::net::PacketBatch&& batch) {
+  return on_batch(std::move(batch), nullptr);
+}
 
-  // User-channel packets dispatch by interned tag; untagged traffic goes to
-  // the distinguished `network` channels (paper §2). Packets built by
-  // encode_packet carry their tag id already; those whose channel string was
-  // assigned directly resolve it here, once.
+/// Lazy tag resolution: packets built by encode_packet carry their tag id
+/// already; those whose channel string was assigned directly resolve it here,
+/// once.
+static void resolve_tag(asp::net::Packet& p) {
   if (p.channel_tag == 0 && !p.channel.empty()) {
     p.channel_tag = asp::net::ChannelTags::intern(p.channel);
   }
-  const DispatchIndex::Entry* entry = inst->index.lookup(p.channel_tag);
-  if (entry == nullptr) {  // unknown tag: no channel can match, pass to IP
-    m_passed_->inc();
-    return false;
-  }
-  const std::vector<std::uint16_t>& candidates =
-      entry->by_proto[DispatchIndex::proto_slot(p)];
+}
 
+bool AspRuntime::run_actions(Installed* inst, std::uint64_t generation,
+                             const std::vector<std::uint16_t>& candidates,
+                             asp::net::Packet& p, asp::net::Interface* in,
+                             RunTally* tally) {
   ++dispatch_depth_;
   bool taken = false;
   current_in_ = in;
-  for (std::uint16_t i : candidates) {
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
     if (generation_ != generation) break;  // protocol swapped mid-dispatch
-    const planp::ChannelDef& c = *channels[i];
-    std::optional<Value> decoded = decode_packet(p, c.packet_type);
-    if (!decoded) continue;
+    const std::uint16_t i = candidates[j];
+    MatchAction& a = inst->table.action(i);
+    // Parse only what the action reads (the P4 shape): a body that never
+    // touches its packet argument dispatches match-only — the plan validates
+    // the packet but no tuple is materialized.
+    Value decoded;
+    if (a.needs_values) {
+      std::optional<Value> d = decode_packet(p, a.plan, &a.scratch);
+      if (!d) continue;
+      decoded = std::move(*d);
+    } else if (!match_packet(p, a.plan)) {
+      continue;
+    }
     // Handler wall-clock is sampled 1-in-16 (the first dispatch always):
-    // two clock reads per packet cost more than the whole dispatch index on
+    // two clock reads per packet cost more than the whole classification on
     // the fast path, and the latency distribution doesn't need every point.
     const bool timed = (latency_probe_++ & 0xF) == 0;
     std::chrono::steady_clock::time_point t0;
     if (timed) t0 = std::chrono::steady_clock::now();
     try {
-      Value out = proto->engine().run_channel(static_cast<int>(i), protocol_state_,
-                                              channel_states_[i], *decoded);
+      Value out = a.entry->run(protocol_state_, channel_states_[i], decoded);
       if (generation_ == generation) {
         // tuple_at, not as_tuple(): the (ps, ss) result is usually an inline
         // ScalarPair and must not be promoted to a heap tuple per packet.
         protocol_state_ = out.tuple_at(0);
         channel_states_[i] = out.tuple_at(1);
       }
-      m_handled_->inc();
-      if (i < channel_counters_.size()) channel_counters_[i]->inc();
+      if (tally != nullptr) {
+        ++tally->handled;
+        if (a.handled != nullptr) {
+          tally->action_counter[j] = a.handled;
+          ++tally->action_count[j];
+        }
+      } else {
+        m_handled_->inc();
+        if (a.handled != nullptr) a.handled->inc();
+      }
       taken = true;
     } catch (const planp::PlanPException& e) {
       // An exception escaping a channel aborts that packet's processing; the
       // packet is consumed (the protocol claimed it) but states are kept.
       m_errors_->inc();
       log_ += "[runtime] unhandled exception '" + e.name + "' in channel '" +
-              c.name + "'\n";
+              a.def->name + "'\n";
       taken = true;
     }
     // Wall-clock handler cost (the engine runs in zero sim-time): this is
@@ -180,6 +177,100 @@ bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
   if (dispatch_depth_ == 0) retired_.clear();
   if (!taken) m_passed_->inc();
   return taken;
+}
+
+bool AspRuntime::on_packet(asp::net::Packet& p, asp::net::Interface* in) {
+  if (cur_ == nullptr) return false;
+  Installed* inst = cur_.get();  // stays alive via retired_ across reinstalls
+  std::uint64_t generation = generation_;
+
+  // User-channel packets classify by interned tag; untagged traffic goes to
+  // the distinguished `network` channels (paper §2).
+  resolve_tag(p);
+  const MatchActionTable::Rule* rule = inst->table.classify(p.channel_tag);
+  if (rule == nullptr) {  // unknown tag: no channel can match, pass to IP
+    m_passed_->inc();
+    return false;
+  }
+  return run_actions(inst, generation,
+                     rule->by_proto[MatchActionTable::proto_slot(p)], p, in,
+                     nullptr);
+}
+
+std::size_t AspRuntime::on_batch(asp::net::PacketBatch&& batch,
+                                 asp::net::Interface* in) {
+  std::size_t taken_count = 0;
+  const std::size_t n = batch.size();
+  std::size_t i = 0;
+  while (i < n) {
+    Installed* inst = cur_.get();
+    const std::uint64_t generation = generation_;
+    if (inst == nullptr) {
+      // Uninstalled mid-batch: the remaining packets see standard IP, exactly
+      // as they would have had they arrived after the uninstall.
+      for (; i < n; ++i) {
+        asp::net::PacketBatch::Box box = batch.take(i);
+        if (box == nullptr) continue;
+        if (in != nullptr) {
+          node_.note_rx(*box, *in);
+          node_.standard_ip(std::move(*box), *in);
+        }
+      }
+      break;
+    }
+
+    // Classify the head packet, then extend the run: consecutive packets
+    // with the same (tag, transport shape) share the classification, so the
+    // table is consulted once per run, not once per packet.
+    resolve_tag(batch[i]);
+    const std::uint32_t run_tag = batch[i].channel_tag;
+    const std::size_t run_slot = MatchActionTable::proto_slot(batch[i]);
+    std::size_t run_end = i + 1;
+    while (run_end < n) {
+      resolve_tag(batch[run_end]);
+      if (batch[run_end].channel_tag != run_tag ||
+          MatchActionTable::proto_slot(batch[run_end]) != run_slot) {
+        break;
+      }
+      ++run_end;
+    }
+    const MatchActionTable::Rule* rule = inst->table.classify(run_tag);
+    const std::vector<std::uint16_t>* candidates =
+        rule != nullptr ? &rule->by_proto[run_slot] : nullptr;
+    // Defer handled-counter increments across the run (flushed by ~RunTally
+    // on every exit path, including a handler exception unwinding through
+    // the loop). Oversized candidate lists fall back to immediate counting.
+    RunTally tally{m_handled_};
+    RunTally* tally_ptr =
+        candidates != nullptr && candidates->size() <= RunTally::kMaxActions
+            ? &tally
+            : nullptr;
+
+    for (; i < run_end; ++i) {
+      asp::net::PacketBatch::Box box = batch.take(i);
+      asp::net::Packet& p = *box;
+      if (in != nullptr) node_.note_rx(p, *in);
+      bool taken;
+      if (rule == nullptr) {
+        m_passed_->inc();
+        taken = false;
+      } else {
+        taken = run_actions(inst, generation, *candidates, p, in, tally_ptr);
+      }
+      if (taken) {
+        ++taken_count;
+      } else if (in != nullptr) {
+        node_.standard_ip(std::move(p), *in);
+      }
+      if (generation_ != generation) {
+        // A handler swapped (or removed) the protocol: stop using this run's
+        // classification and re-resolve for the remaining packets.
+        ++i;
+        break;
+      }
+    }
+  }
+  return taken_count;
 }
 
 std::int64_t AspRuntime::link_load_percent() {
@@ -204,7 +295,15 @@ std::int64_t AspRuntime::link_bandwidth_kbps() {
 }
 
 void AspRuntime::on_remote(const std::string& channel, const Value& packet) {
-  asp::net::Packet p = encode_packet(packet, channel == "network" ? "" : channel);
+  send_remote(encode_packet(packet, channel == "network" ? "" : channel));
+}
+
+void AspRuntime::on_remote(std::uint32_t chan_tag, const Value& packet) {
+  // The distinguished `network` channel emits untagged traffic (tag 0).
+  send_remote(encode_packet(packet, chan_tag == network_tag_ ? 0u : chan_tag));
+}
+
+void AspRuntime::send_remote(asp::net::Packet p) {
   p.id = node_.next_packet_id();
   // Defense in depth: even verified protocols respect TTL.
   if (p.ip.ttl <= 1) {
@@ -221,7 +320,14 @@ void AspRuntime::on_remote(const std::string& channel, const Value& packet) {
 }
 
 void AspRuntime::on_neighbor(const std::string& channel, const Value& packet) {
-  asp::net::Packet p = encode_packet(packet, channel == "network" ? "" : channel);
+  send_neighbor(encode_packet(packet, channel == "network" ? "" : channel));
+}
+
+void AspRuntime::on_neighbor(std::uint32_t chan_tag, const Value& packet) {
+  send_neighbor(encode_packet(packet, chan_tag == network_tag_ ? 0u : chan_tag));
+}
+
+void AspRuntime::send_neighbor(asp::net::Packet p) {
   p.id = node_.next_packet_id();
   m_sent_->inc();
   // L2 semantics: emit on every attached segment except the one the packet

@@ -11,12 +11,13 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "net/batch.hpp"
 #include "net/node.hpp"
 #include "obs/metrics.hpp"
 #include "planp/program.hpp"
+#include "runtime/match_action.hpp"
 #include "runtime/netapi.hpp"
 
 namespace asp::runtime {
@@ -66,6 +67,12 @@ class AspRuntime : public planp::EnvApi {
   /// as if it had arrived from the network. Returns true if a channel took it.
   bool inject(asp::net::Packet p);
 
+  /// Batch variant of inject(): dispatches every packet in canonical order
+  /// through the match-action pipeline (classification hoisted across runs of
+  /// same-shape packets). Packets no channel claims are discarded, mirroring
+  /// inject(). Returns the number of packets a channel took.
+  std::size_t inject_batch(asp::net::PacketBatch&& batch);
+
   // --- statistics -------------------------------------------------------------
   /// Dispatch counters since construction, as one coherent snapshot. The same
   /// figures (plus per-channel dispatch counts and the packet handling-latency
@@ -88,6 +95,8 @@ class AspRuntime : public planp::EnvApi {
   }
   void on_remote(const std::string& channel, const planp::Value& packet) override;
   void on_neighbor(const std::string& channel, const planp::Value& packet) override;
+  void on_remote(std::uint32_t chan_tag, const planp::Value& packet) override;
+  void on_neighbor(std::uint32_t chan_tag, const planp::Value& packet) override;
   void deliver(const planp::Value& packet) override;
   void drop() override { m_dropped_->inc(); }
 
@@ -97,37 +106,55 @@ class AspRuntime : public planp::EnvApi {
     return o;
   }
 
-  bool on_packet(asp::net::Packet& p, asp::net::Interface* in);
-
-  /// Per-protocol dispatch index, built once at install time. Maps an
-  /// interned channel-tag id and the packet's header shape (raw/tcp/udp) to
-  /// the candidate channel indices, replacing the per-packet linear
-  /// string-compare scan over every channel. Untagged traffic resolves to the
-  /// distinguished `network` channels.
-  struct DispatchIndex {
-    struct Entry {
-      // Candidate channel indices per transport shape, ascending (overload
-      // order preserved): [0] raw / header-only, [1] tcp, [2] udp.
-      std::array<std::vector<std::uint16_t>, 3> by_proto;
-    };
-    std::unordered_map<std::uint32_t, Entry> by_tag;
-    const Entry* untagged = nullptr;  // the `network` entry, if any
-
-    static std::size_t proto_slot(const asp::net::Packet& p);
-    const Entry* lookup(std::uint32_t tag) const {
-      if (tag == 0) return untagged;
-      auto it = by_tag.find(tag);
-      return it == by_tag.end() ? nullptr : &it->second;
-    }
-  };
-
-  /// A protocol together with its dispatch index: the two retire as a unit so
-  /// a reinstall from inside a channel handler cannot free the index the
-  /// in-flight dispatch loop is iterating.
+  /// A protocol together with its match-action table: the two retire as a
+  /// unit so a reinstall from inside a channel handler cannot free the table
+  /// the in-flight dispatch loop is iterating.
   struct Installed {
     std::unique_ptr<planp::Protocol> proto;
-    DispatchIndex index;
+    MatchActionTable table;
   };
+
+  bool on_packet(asp::net::Packet& p, asp::net::Interface* in);
+  /// The node's batch hook body: per packet, in canonical order — note_rx,
+  /// match-action dispatch, standard IP for non-consumed packets. With
+  /// `in == nullptr` (inject_batch) the node-side steps are skipped. Returns
+  /// the number of packets a channel consumed.
+  std::size_t on_batch(asp::net::PacketBatch&& batch, asp::net::Interface* in);
+  /// Deferred dispatch-counter increments for one batch run: one atomic add
+  /// per counter per run instead of per packet. Holds only registry-owned
+  /// Counter pointers, so the flush stays safe even when a handler retires
+  /// the protocol (and its table) mid-run.
+  struct RunTally {
+    static constexpr std::size_t kMaxActions = 8;
+    obs::Counter* handled_counter = nullptr;
+    std::uint64_t handled = 0;
+    std::array<obs::Counter*, kMaxActions> action_counter{};
+    std::array<std::uint32_t, kMaxActions> action_count{};
+    ~RunTally() { flush(); }
+    void flush() {
+      if (handled != 0) {
+        handled_counter->inc(handled);
+        handled = 0;
+      }
+      for (std::size_t j = 0; j < kMaxActions; ++j) {
+        if (action_count[j] != 0) {
+          action_counter[j]->inc(action_count[j]);
+          action_count[j] = 0;
+        }
+      }
+    }
+  };
+  /// Runs one packet's candidate actions (the shared core of on_packet and
+  /// on_batch). `candidates` is the packet's classification for its transport
+  /// shape; increments packets_passed and returns false when no action
+  /// consumes the packet. With `tally` non-null the handled-counter
+  /// increments are deferred into it (batch path) instead of applied here.
+  bool run_actions(Installed* inst, std::uint64_t generation,
+                   const std::vector<std::uint16_t>& candidates,
+                   asp::net::Packet& p, asp::net::Interface* in,
+                   RunTally* tally);
+  void send_remote(asp::net::Packet p);
+  void send_neighbor(asp::net::Packet p);
 
   asp::net::Node& node_;
   std::unique_ptr<Installed> cur_;
@@ -142,6 +169,7 @@ class AspRuntime : public planp::EnvApi {
   std::vector<planp::Value> channel_states_;
   asp::net::Medium* monitored_ = nullptr;
   asp::net::Interface* current_in_ = nullptr;  // arrival interface during dispatch
+  std::uint32_t network_tag_ = 0;  // interned "network" (untagged sends)
 
   // Instruments in the global registry (node/<name>/asp/*), cached at
   // construction; stats() subtracts base_ so snapshots are per-instance even

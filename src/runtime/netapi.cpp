@@ -159,7 +159,173 @@ std::optional<Value> decode_packet(const asp::net::Packet& p, const TypePtr& typ
   return Value::of_tuple_rep(std::move(fields));
 }
 
-asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
+DecodePlan compile_decode_plan(const TypePtr& type) {
+  DecodePlan plan;
+  const auto& parts = type->args();
+  plan.arity = static_cast<std::uint16_t>(parts.size());
+  std::size_t i = 1;  // parts[0] is the ip header
+  if (i < parts.size() && parts[i]->is(Type::Kind::kTcp)) {
+    plan.transport = DecodePlan::Transport::kTcp;
+    ++i;
+  } else if (i < parts.size() && parts[i]->is(Type::Kind::kUdp)) {
+    plan.transport = DecodePlan::Transport::kUdp;
+    ++i;
+  }
+  plan.valid = true;
+  for (; i < parts.size(); ++i) {
+    switch (parts[i]->kind()) {
+      case Type::Kind::kChar:
+        plan.fields.push_back(DecodePlan::FieldOp::kChar);
+        plan.fixed_bytes += 1;
+        break;
+      case Type::Kind::kBool:
+        plan.fields.push_back(DecodePlan::FieldOp::kBool);
+        plan.bool_offsets.push_back(plan.fixed_bytes);
+        plan.fixed_bytes += 1;
+        break;
+      case Type::Kind::kInt:
+        plan.fields.push_back(DecodePlan::FieldOp::kInt);
+        plan.fixed_bytes += 4;
+        break;
+      case Type::Kind::kBlob:
+        plan.fields.push_back(DecodePlan::FieldOp::kBlob);
+        plan.has_blob = true;
+        break;
+      default:
+        // A shape decode_packet would always reject; the channel can never
+        // match, which match_packet reports without per-packet work.
+        plan.valid = false;
+        return plan;
+    }
+  }
+  return plan;
+}
+
+bool match_packet(const asp::net::Packet& p, const DecodePlan& plan) {
+  if (!plan.valid) return false;
+  bool transport_in_blob = false;
+  switch (plan.transport) {
+    case DecodePlan::Transport::kTcp:
+      if (p.ip.proto != asp::net::IpProto::kTcp || !p.tcp) return false;
+      break;
+    case DecodePlan::Transport::kUdp:
+      if (p.ip.proto != asp::net::IpProto::kUdp || !p.udp) return false;
+      break;
+    case DecodePlan::Transport::kAny:
+      transport_in_blob = p.tcp.has_value() || p.udp.has_value();
+      break;
+  }
+  std::size_t hdr = 0;
+  if (transport_in_blob) {
+    hdr = p.tcp ? asp::net::TcpHeader::kWireSize : asp::net::UdpHeader::kWireSize;
+  }
+  if (plan.fixed_bytes > hdr + p.payload.size()) return false;
+  if (!plan.bool_offsets.empty()) {
+    // Strict bool encoding is part of matching. Offsets inside a serialized
+    // transport header are rare (header-only pattern with scalar fields);
+    // that slow path materializes the bytes exactly like decode would.
+    if (hdr == 0) {
+      const auto& bytes = p.payload.bytes();
+      for (std::uint32_t off : plan.bool_offsets) {
+        if (bytes[off] > 1) return false;
+      }
+    } else {
+      std::vector<std::uint8_t> rest = raw_rest(p);
+      for (std::uint32_t off : plan.bool_offsets) {
+        if (rest[off] > 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Value> decode_packet(const asp::net::Packet& p, const DecodePlan& plan,
+                                   planp::TupleRep* reuse) {
+  if (!plan.valid) return std::nullopt;
+  bool transport_in_blob = false;
+  switch (plan.transport) {
+    case DecodePlan::Transport::kTcp:
+      if (p.ip.proto != asp::net::IpProto::kTcp || !p.tcp) return std::nullopt;
+      break;
+    case DecodePlan::Transport::kUdp:
+      if (p.ip.proto != asp::net::IpProto::kUdp || !p.udp) return std::nullopt;
+      break;
+    case DecodePlan::Transport::kAny:
+      transport_in_blob = p.tcp.has_value() || p.udp.has_value();
+      break;
+  }
+
+  // Steady-state storage reuse: when the caller's scratch tuple is uniquely
+  // owned (the previous packet's decoded value has died), refill it in place;
+  // otherwise fall back to pooled storage (e.g. the handler kept the tuple).
+  planp::TupleRep fields;
+  if (reuse != nullptr && *reuse != nullptr && reuse->use_count() == 1 &&
+      (*reuse)->capacity() >= plan.arity) {
+    fields = *reuse;
+    fields->clear();
+  } else {
+    fields = Value::make_tuple_storage(plan.arity);
+    if (reuse != nullptr) *reuse = fields;
+  }
+
+  fields->push_back(Value::of_ip(p.ip));
+  if (plan.transport == DecodePlan::Transport::kTcp) {
+    fields->push_back(Value::of_tcp(*p.tcp));
+  } else if (plan.transport == DecodePlan::Transport::kUdp) {
+    fields->push_back(Value::of_udp(*p.udp));
+  }
+
+  std::vector<std::uint8_t> scratch;
+  if (transport_in_blob) scratch = raw_rest(p);
+  const std::vector<std::uint8_t>& rest =
+      transport_in_blob ? scratch : p.payload.bytes();
+
+  std::size_t off = 0;
+  for (DecodePlan::FieldOp op : plan.fields) {
+    switch (op) {
+      case DecodePlan::FieldOp::kChar:
+        if (off + 1 > rest.size()) return std::nullopt;
+        fields->push_back(Value::of_char(static_cast<char>(rest[off])));
+        off += 1;
+        break;
+      case DecodePlan::FieldOp::kBool:
+        if (off + 1 > rest.size()) return std::nullopt;
+        if (rest[off] > 1) return std::nullopt;  // strict bool encoding
+        fields->push_back(Value::of_bool(rest[off] != 0));
+        off += 1;
+        break;
+      case DecodePlan::FieldOp::kInt: {
+        if (off + 4 > rest.size()) return std::nullopt;
+        std::int32_t v = static_cast<std::int32_t>(
+            (std::uint32_t{rest[off]} << 24) | (std::uint32_t{rest[off + 1]} << 16) |
+            (std::uint32_t{rest[off + 2]} << 8) | rest[off + 3]);
+        fields->push_back(Value::of_int(v));
+        off += 4;
+        break;
+      }
+      case DecodePlan::FieldOp::kBlob: {
+        const std::size_t blob_off = off;
+        off = rest.size();
+        if (!transport_in_blob && blob_off == 0) {
+          fields->push_back(Value::of_blob_shared(p.payload.buffer()));
+        } else if (transport_in_blob && blob_off == 0) {
+          fields->push_back(Value::of_blob(std::move(scratch)));
+        } else {
+          fields->push_back(Value::of_blob(std::vector<std::uint8_t>(
+              rest.begin() + static_cast<std::ptrdiff_t>(blob_off), rest.end())));
+        }
+        break;
+      }
+    }
+  }
+  return Value::of_tuple_rep(std::move(fields));
+}
+
+namespace {
+
+/// Shared body of the encode_packet overloads: everything except the channel
+/// tagging.
+asp::net::Packet encode_packet_core(const Value& v) {
   const auto& fields = v.as_tuple();
   asp::net::Packet p;
   p.ip = fields[0].as_ip();
@@ -189,7 +355,6 @@ asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
   if (i + 1 == fields.size() && !needs_split) {
     if (const auto* blob = std::get_if<planp::Blob>(&fields[i].rep())) {
       p.payload = asp::net::Payload(*blob);
-      p.set_channel(channel_tag);
       return p;
     }
   }
@@ -218,7 +383,25 @@ asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
   } else {
     p.payload = std::move(out);
   }
+  return p;
+}
+
+}  // namespace
+
+asp::net::Packet encode_packet(const Value& v, const std::string& channel_tag) {
+  asp::net::Packet p = encode_packet_core(v);
   p.set_channel(channel_tag);
+  return p;
+}
+
+asp::net::Packet encode_packet(const Value& v, std::uint32_t chan_tag) {
+  asp::net::Packet p = encode_packet_core(v);
+  if (chan_tag != 0) {
+    // Both the name string and the id travel with the packet (the name is
+    // the wire representation; the id is what dispatch keys on).
+    p.channel = asp::net::ChannelTags::name_of(chan_tag);
+    p.channel_tag = chan_tag;
+  }
   return p;
 }
 
