@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/asp_sources.hpp"
+#include "bench/harness.hpp"
 #include "net/network.hpp"
 #include "planp/compile.hpp"
 #include "planp/interp.hpp"
@@ -99,6 +100,7 @@ BENCHMARK(BM_Ablation_TemplateCounts)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  asp::bench::parse_and_strip_options(argc, argv);  // shared flags first
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

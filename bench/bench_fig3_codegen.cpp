@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/asp_sources.hpp"
+#include "bench/harness.hpp"
 #include "net/network.hpp"
 #include "planp/compile.hpp"
 #include "planp/jit.hpp"
@@ -90,6 +91,7 @@ BENCHMARK(BM_FullDownloadPipeline)->DenseRange(0, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  asp::bench::parse_and_strip_options(argc, argv);  // shared flags first
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/asp_sources.hpp"
+#include "bench/harness.hpp"
 #include "net/network.hpp"
 #include "planp/analysis.hpp"
 #include "planp/parser.hpp"
@@ -76,6 +77,7 @@ BENCHMARK(BM_ParseAndCheck)->DenseRange(0, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  asp::bench::parse_and_strip_options(argc, argv);  // shared flags first
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -23,24 +23,51 @@ struct Options {
   double duration_s = 0;  // 0 = keep the driver's scenario default
 };
 
+namespace detail {
+/// Applies `a` to `o` if it is one of the shared flags; returns whether it
+/// was recognized (so the strip variant knows what to remove).
+inline bool apply_flag(const char* a, Options& o) {
+  if (std::strncmp(a, "--shards=", 9) == 0) {
+    o.shards = std::atoi(a + 9);
+  } else if (std::strncmp(a, "--seed=", 7) == 0) {
+    o.seed = std::strtoull(a + 7, nullptr, 10);
+  } else if (std::strncmp(a, "--duration=", 11) == 0) {
+    o.duration_s = std::strtod(a + 11, nullptr);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline Options clamp(Options o) {
+  if (o.shards < 1) o.shards = 1;
+  if (o.duration_s < 0) o.duration_s = 0;
+  return o;
+}
+}  // namespace detail
+
 /// Parses the shared flags out of argv. `defaults` seeds the result, so each
 /// driver keeps its own scenario defaults for anything not on the command
 /// line. Values are clamped to sane minima (shards >= 1, duration >= 0).
 inline Options parse_options(int argc, char** argv, Options defaults = {}) {
   Options o = defaults;
+  for (int i = 1; i < argc; ++i) detail::apply_flag(argv[i], o);
+  return detail::clamp(o);
+}
+
+/// parse_options that also REMOVES the recognized flags from argv (compacting
+/// it in place and updating argc). google-benchmark binaries call this BEFORE
+/// benchmark::Initialize, so one command line carries both flag families and
+/// ReportUnrecognizedArguments never trips over ours.
+inline Options parse_and_strip_options(int& argc, char** argv, Options defaults = {}) {
+  Options o = defaults;
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strncmp(a, "--shards=", 9) == 0) {
-      o.shards = std::atoi(a + 9);
-    } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      o.seed = std::strtoull(a + 7, nullptr, 10);
-    } else if (std::strncmp(a, "--duration=", 11) == 0) {
-      o.duration_s = std::strtod(a + 11, nullptr);
-    }
+    if (!detail::apply_flag(argv[i], o)) argv[kept++] = argv[i];
   }
-  if (o.shards < 1) o.shards = 1;
-  if (o.duration_s < 0) o.duration_s = 0;
-  return o;
+  argv[kept] = nullptr;  // kept <= argc, so the slot exists
+  argc = kept;
+  return detail::clamp(o);
 }
 
 }  // namespace asp::bench

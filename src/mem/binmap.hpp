@@ -1,0 +1,78 @@
+// Hierarchical binmap: a three-tier bitmap over a growable index range with
+// O(1) find-first-set, in the style of csuperalloc's c_binmap (SNIPPETS.md
+// snippet 2). The slab allocator uses one per size class to answer "which
+// chunk has a free block" without walking a freelist:
+//
+//   l0   one 64-bit word; bit g set  <=>  l1[g] has a set bit
+//   l1   up to 64 words;  bit w set  <=>  l2[g*64 + w] has a set bit
+//   l2   up to 4096 words; bit i of word w  <=>  index w*64+i is set
+//
+// find_first() is three countr_zero calls — no loops, no branches beyond the
+// empty check — so a slab allocation is a constant handful of instructions
+// regardless of how many chunks the class owns. Capacity is 64^3 = 262,144
+// indices; set() grows l2 on demand (cold: only when a class gains chunks).
+//
+// Single-owner: a binmap belongs to one shard's pool and is only touched by
+// the thread bound to that shard (mem/shard.hpp). No atomics, no locks.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace asp::mem {
+
+class Binmap {
+ public:
+  static constexpr int kWordBits = 64;
+  static constexpr std::uint32_t kCapacity = 64u * 64u * 64u;
+
+  /// Marks `i` set, growing the level-2 array if `i` is beyond any index
+  /// seen so far. Growth is amortized over chunk creation, never on the
+  /// steady-state alloc/free path.
+  void set(std::uint32_t i) {
+    assert(i < kCapacity && "binmap index overflow");
+    const std::uint32_t w = i / kWordBits;
+    if (w >= l2_.size()) l2_.resize(w + 1, 0);
+    l2_[w] |= std::uint64_t{1} << (i % kWordBits);
+    l1_[w / kWordBits] |= std::uint64_t{1} << (w % kWordBits);
+    l0_ |= std::uint64_t{1} << (w / kWordBits);
+  }
+
+  /// Marks `i` clear, propagating emptiness up the tiers.
+  void clear(std::uint32_t i) {
+    const std::uint32_t w = i / kWordBits;
+    if (w >= l2_.size()) return;
+    l2_[w] &= ~(std::uint64_t{1} << (i % kWordBits));
+    if (l2_[w] == 0) {
+      const std::uint32_t g = w / kWordBits;
+      l1_[g] &= ~(std::uint64_t{1} << (w % kWordBits));
+      if (l1_[g] == 0) l0_ &= ~(std::uint64_t{1} << g);
+    }
+  }
+
+  bool test(std::uint32_t i) const {
+    const std::uint32_t w = i / kWordBits;
+    return w < l2_.size() && ((l2_[w] >> (i % kWordBits)) & 1) != 0;
+  }
+
+  bool any() const { return l0_ != 0; }
+
+  /// Lowest set index, or -1 when empty: three find-first-set steps.
+  std::int32_t find_first() const {
+    if (l0_ == 0) return -1;
+    const std::uint32_t g = static_cast<std::uint32_t>(std::countr_zero(l0_));
+    const std::uint32_t w =
+        g * kWordBits + static_cast<std::uint32_t>(std::countr_zero(l1_[g]));
+    return static_cast<std::int32_t>(
+        w * kWordBits + static_cast<std::uint32_t>(std::countr_zero(l2_[w])));
+  }
+
+ private:
+  std::uint64_t l0_ = 0;
+  std::uint64_t l1_[kWordBits] = {};
+  std::vector<std::uint64_t> l2_;
+};
+
+}  // namespace asp::mem

@@ -2,7 +2,6 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -40,7 +39,7 @@ struct StatsEntry {
   std::string name;
   const PoolStats* stats;
 };
-// Leaked: register_pool_stats can be called from leaked-singleton
+// Leaked: register_pool_stats can be called from leaked shard-pool
 // constructors whose order relative to this file's statics is unspecified,
 // and the list must outlive every pool.
 std::vector<StatsEntry>& stats_list() {
@@ -71,10 +70,30 @@ void publish_metrics() {
     reg.gauge(e.name + "/recycled_bytes")
         .set(static_cast<double>(e.stats->recycled_bytes.load()));
     reg.gauge(e.name + "/live").set(static_cast<double>(e.stats->live.load()));
+    reg.gauge(e.name + "/remote_freed")
+        .set(static_cast<double>(e.stats->remote_freed.load()));
+    reg.gauge(e.name + "/remote_drained")
+        .set(static_cast<double>(e.stats->remote_drained.load()));
+    reg.gauge(e.name + "/spills").set(static_cast<double>(e.stats->spills.load()));
   }
   reg.gauge("mem/event/heap_captures").set(static_cast<double>(g_heap_captures.load()));
   reg.gauge("mem/event/heap_capture_bytes")
       .set(static_cast<double>(g_heap_capture_bytes.load()));
+}
+
+PoolTotals total_pool_stats() {
+  PoolTotals t;
+  std::lock_guard<std::mutex> lock(stats_list_mu());
+  for (const auto& e : stats_list()) {
+    t.hits += e.stats->hits.load();
+    t.misses += e.stats->misses.load();
+    t.recycled += e.stats->recycled.load();
+    t.live += e.stats->live.load();
+    t.remote_freed += e.stats->remote_freed.load();
+    t.remote_drained += e.stats->remote_drained.load();
+    t.spills += e.stats->spills.load();
+  }
+  return t;
 }
 
 void note_heap_capture(std::size_t bytes) {
@@ -86,200 +105,137 @@ std::uint64_t heap_capture_count() { return g_heap_captures.load(); }
 
 // --- slab pool ----------------------------------------------------------------
 
-// Per-thread magazines: intrusive per-class stacks, same first-word links as
-// the shared freelists, so blocks move between the two with pointer writes.
-struct SlabPool::ThreadCache {
-  SlabPool* owner = nullptr;
-  void* head[kClasses] = {};
-  int count[kClasses] = {};
-};
-
-thread_local SlabPool::ThreadCache* SlabPool::tls_ = nullptr;
-
-SlabPool::ThreadCache* SlabPool::thread_cache(bool create) {
-  ThreadCache* tc = tls_;
-  if (tc != nullptr) return tc->owner == this ? tc : nullptr;
-  if (!create) return nullptr;
-  struct Holder {
-    ThreadCache cache;
-    ~Holder() {
-      // Spill the magazine back to the shared slab and null the trivially
-      // destructible slot, so post-exit deallocations take the locked path
-      // instead of touching a dead cache.
-      if (cache.owner != nullptr) cache.owner->spill_all(cache);
-      tls_ = nullptr;
-    }
-  };
-  static thread_local Holder holder;
-  if (holder.cache.owner != nullptr && holder.cache.owner != this) {
-    return nullptr;  // a non-singleton instance lost the race for this thread
-  }
-  holder.cache.owner = this;
-  tls_ = &holder.cache;
-  return &holder.cache;
+SlabPool::SlabPool(const std::string& name, const void* owner_token, bool locked)
+    : owner_token_(owner_token), locked_(locked) {
+  register_pool_stats(name, &stats_);
 }
 
-void SlabPool::spill_class(ThreadCache& tc, int c, int keep) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (tc.count[c] > keep) {
-    void* p = tc.head[c];
-    tc.head[c] = *static_cast<void**>(p);
-    --tc.count[c];
-    *static_cast<void**>(p) = free_[c];
-    free_[c] = p;
-  }
-}
-
-void SlabPool::spill_all(ThreadCache& tc) noexcept {
-  for (int c = 0; c < kClasses; ++c) {
-    if (tc.count[c] > 0) spill_class(tc, c, 0);
-  }
-}
+SlabPool::~SlabPool() { purge_free(); }
 
 void* SlabPool::allocate(std::size_t bytes) {
   if (bytes == 0) bytes = 1;
   if (bytes > kMaxBlock) {
+    // Oversized requests bypass the chunks entirely; freed by size check in
+    // deallocate() before any chunk masking.
     ++stats_.misses;
     ++stats_.live;
     return ::operator new(bytes);
   }
+  MaybeLock lk(lock_if());
+  if (locked_) ++stats_.spills;
   const int c = class_of(bytes);
-  ThreadCache* tc = thread_cache(true);
-  if (tc != nullptr && tc->head[c] != nullptr) {
-    void* p = tc->head[c];
-    tc->head[c] = *static_cast<void**>(p);
-    --tc->count[c];
-    ++stats_.hits;
-    ++stats_.live;
-    return p;
+  ClassDir& d = dirs_[c];
+  std::int32_t ci = d.avail.find_first();
+  if (ci < 0) {
+    // Local freelists dry: reclaim cross-shard frees before growing.
+    drain_remote_unlocked();
+    ci = d.avail.find_first();
+    if (ci < 0) return refill(c);
   }
-  return allocate_slow(c, tc);
+  Chunk* ch = d.chunks[static_cast<std::size_t>(ci)];
+  const auto b = static_cast<unsigned>(std::countr_zero(ch->free_mask));
+  ch->free_mask &= ch->free_mask - 1;  // clear lowest set bit
+  if (ch->free_mask == 0) d.avail.clear(static_cast<std::uint32_t>(ci));
+  ++stats_.hits;
+  ++stats_.live;
+  return ch->base() + b * block_size(c);
 }
 
-void* SlabPool::allocate_slow(int c, ThreadCache* tc) {
-  const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (void* p = free_[c]) {
-      // Serve from the shared slab and pull half a magazine with it.
-      free_[c] = *static_cast<void**>(p);
-      if (tc != nullptr) {
-        for (int i = 0; i < kMagazine / 2 && free_[c] != nullptr; ++i) {
-          void* q = free_[c];
-          free_[c] = *static_cast<void**>(q);
-          *static_cast<void**>(q) = tc->head[c];
-          tc->head[c] = q;
-          ++tc->count[c];
-        }
-      }
-      ++stats_.hits;
-      ++stats_.live;
-      return p;
-    }
-  }
-  // Refill the class with a chunk; blocks in a chunk are never individually
-  // freed to the OS, only threaded back onto a freelist. The surplus blocks
-  // charge this thread's magazine (the shared slab when cacheless).
-  auto* chunk = static_cast<std::uint8_t*>(::operator new(block * kChunkBlocks));
+void* SlabPool::refill(int c) {
+  const std::size_t bs = block_size(c);
+  void* raw =
+      ::operator new(kBlockOffset + kChunkBlocks * bs, std::align_val_t{kChunkAlign});
+  auto* ch = new (raw) Chunk;
+  ch->home = this;
+  ch->cls = static_cast<std::uint32_t>(c);
+  ch->dir_index = static_cast<std::uint32_t>(dirs_[c].chunks.size());
+  ch->free_mask = ~std::uint64_t{1};  // block 0 is handed out right away
+  dirs_[c].chunks.push_back(ch);
+  dirs_[c].avail.set(ch->dir_index);
   ++stats_.misses;
-  if (tc != nullptr) {
-    for (int i = 1; i < kChunkBlocks; ++i) {
-      void* b = chunk + static_cast<std::size_t>(i) * block;
-      *static_cast<void**>(b) = tc->head[c];
-      tc->head[c] = b;
-      ++tc->count[c];
-    }
-    if (tc->count[c] > kMagazine) spill_class(*tc, c, kMagazine / 2);
-  } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int i = 1; i < kChunkBlocks; ++i) {
-      void* b = chunk + static_cast<std::size_t>(i) * block;
-      *static_cast<void**>(b) = free_[c];
-      free_[c] = b;
-    }
-  }
   ++stats_.live;
-  return chunk;
+  return ch->base();
 }
 
 void SlabPool::deallocate(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
   if (bytes == 0) bytes = 1;
-  --stats_.live;
   if (bytes > kMaxBlock) {
+    --stats_.live;
     ::operator delete(p);
     return;
   }
-  ++stats_.recycled;
-  const int c = class_of(bytes);
-  if (poison_enabled()) {
-    const std::size_t block = static_cast<std::size_t>(c + 1) * kAlign;
-    std::memset(p, kPoisonByte, block);
-  }
-  // Never *create* a cache on the free path (deleters can run during static
-  // destruction or on threads that only release).
-  if (ThreadCache* tc = thread_cache(false)) {
-    *static_cast<void**>(p) = tc->head[c];
-    tc->head[c] = p;
-    if (++tc->count[c] > kMagazine) spill_class(*tc, c, kMagazine / 2);
+  // Route by the chunk's home pool — NOT by `this`: a handle's control block
+  // is released wherever the last reference dies.
+  Chunk* ch = chunk_of(p);
+  SlabPool* home = ch->home;
+  --home->stats_.live;
+  if (home->owner_token_ != nullptr &&
+      home->owner_token_ == current_owner_token()) {
+    home->free_local(ch, p);
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  *static_cast<void**>(p) = free_[c];
-  free_[c] = p;
+  ++home->stats_.remote_freed;
+  home->remote_.push(p);
 }
 
-SlabPool& slab_pool() {
-  static auto* pool = [] {
-    auto* p = new SlabPool;
-    register_pool_stats("mem/slab", &p->stats());
-    return p;
-  }();
-  return *pool;
+void SlabPool::free_local(Chunk* ch, void* p) noexcept {
+  const std::size_t bs = block_size(static_cast<int>(ch->cls));
+  if (poison_enabled()) std::memset(p, kPoisonByte, bs);
+  const auto b =
+      static_cast<unsigned>((static_cast<std::uint8_t*>(p) - ch->base()) / bs);
+  if (ch->free_mask == 0) dirs_[ch->cls].avail.set(ch->dir_index);
+  ch->free_mask |= std::uint64_t{1} << b;
+  ++stats_.recycled;
+}
+
+void SlabPool::drain_remote() {
+  MaybeLock lk(lock_if());
+  drain_remote_unlocked();
+}
+
+void SlabPool::drain_remote_unlocked() noexcept {
+  void* p = remote_.take_all();
+  while (p != nullptr) {
+    void* next = *static_cast<void**>(p);  // read the link before poison scribbles it
+    ++stats_.remote_drained;
+    free_local(chunk_of(p), p);
+    p = next;
+  }
+}
+
+void SlabPool::purge_free() {
+  MaybeLock lk(lock_if());
+  drain_remote_unlocked();
+  for (auto& d : dirs_) {
+    std::vector<Chunk*> keep;
+    keep.reserve(d.chunks.size());
+    for (Chunk* ch : d.chunks) {
+      if (ch->free_mask == ~std::uint64_t{0}) {
+        ch->~Chunk();
+        ::operator delete(ch, std::align_val_t{kChunkAlign});
+      } else {
+        keep.push_back(ch);  // has live blocks; must survive
+      }
+    }
+    d.chunks = std::move(keep);
+    d.avail = Binmap{};
+    for (std::size_t i = 0; i < d.chunks.size(); ++i) {
+      d.chunks[i]->dir_index = static_cast<std::uint32_t>(i);
+      if (d.chunks[i]->free_mask != 0) d.avail.set(static_cast<std::uint32_t>(i));
+    }
+  }
 }
 
 // --- buffer pool --------------------------------------------------------------
 
-struct BufferPool::ThreadCache {
-  BufferPool* owner = nullptr;
-  std::vector<Node*> items[kClasses];
-};
-
-thread_local BufferPool::ThreadCache* BufferPool::tls_ = nullptr;
-
-BufferPool::ThreadCache* BufferPool::thread_cache(bool create) {
-  ThreadCache* tc = tls_;
-  if (tc != nullptr) return tc->owner == this ? tc : nullptr;
-  if (!create) return nullptr;
-  struct Holder {
-    ThreadCache cache;
-    ~Holder() {
-      if (cache.owner != nullptr) cache.owner->spill_all(cache);
-      tls_ = nullptr;
-    }
-  };
-  static thread_local Holder holder;
-  if (holder.cache.owner != nullptr && holder.cache.owner != this) {
-    return nullptr;
-  }
-  holder.cache.owner = this;
-  tls_ = &holder.cache;
-  return &holder.cache;
+BufferPool::BufferPool(const std::string& name, SlabPool& slab,
+                       const void* owner_token, bool locked)
+    : owner_token_(owner_token), locked_(locked), slab_(&slab) {
+  register_pool_stats(name, &stats_);
 }
 
-void BufferPool::spill_class(ThreadCache& tc, int c, std::size_t keep) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (tc.items[c].size() > keep) {
-    free_[c].push_back(tc.items[c].back());
-    tc.items[c].pop_back();
-  }
-}
-
-void BufferPool::spill_all(ThreadCache& tc) noexcept {
-  for (int c = 0; c < kClasses; ++c) {
-    if (!tc.items[c].empty()) spill_class(tc, c, 0);
-  }
-}
+BufferPool::~BufferPool() { purge_free(); }
 
 int BufferPool::class_for_request(std::size_t n) {
   std::size_t cap = kBaseCapacity;
@@ -305,39 +261,26 @@ BufferPool::Handle BufferPool::wrap(Node* n) {
   ++stats_.live;
   // Deleter + slab-backed control block: steady-state acquire/release does
   // not touch operator new.
-  return Handle(&n->bytes, Recycler{this}, SlabAllocator<Bytes>{});
+  return Handle(&n->bytes, Recycler{}, SlabAllocator<Bytes>{*slab_});
 }
 
 BufferPool::Handle BufferPool::acquire(std::size_t capacity_hint) {
+  MaybeLock lk(lock_if());
+  if (locked_) ++stats_.spills;
   ScopedAllocTag tag(AllocTag::kBuffer);
   const int c = class_for_request(capacity_hint);
-  ThreadCache* tc = thread_cache(true);
   if (c < kClasses) {
-    if (tc != nullptr && !tc->items[c].empty()) {
-      Node* n = tc->items[c].back();
-      tc->items[c].pop_back();
-      ++stats_.hits;
-      return wrap(n);
-    }
-    std::unique_lock<std::mutex> lock(mu_);
+    if (free_[c].empty() && !remote_.empty()) drain_remote_unlocked();
     if (!free_[c].empty()) {
       Node* n = free_[c].back();
       free_[c].pop_back();
-      if (tc != nullptr) {  // pull half a magazine while we hold the lock
-        std::size_t batch = std::min(free_[c].size(),
-                                     static_cast<std::size_t>(kMagazine) / 2);
-        for (std::size_t i = 0; i < batch; ++i) {
-          tc->items[c].push_back(free_[c].back());
-          free_[c].pop_back();
-        }
-      }
-      lock.unlock();
       ++stats_.hits;
       return wrap(n);
     }
   }
   ++stats_.misses;
   auto* n = new Node;
+  n->home = this;
   std::size_t cap = kBaseCapacity;
   for (int i = 0; i < c && i < kClasses; ++i) cap *= 2;
   n->bytes.reserve(std::max(capacity_hint, cap));
@@ -345,28 +288,21 @@ BufferPool::Handle BufferPool::acquire(std::size_t capacity_hint) {
 }
 
 BufferPool::Handle BufferPool::adopt(Bytes&& bytes) {
+  MaybeLock lk(lock_if());
+  if (locked_) ++stats_.spills;
   ScopedAllocTag tag(AllocTag::kBuffer);
+  // Reuse an idle freelist node header if any class has one; its old storage
+  // is replaced by the adopted storage via move-assign.
   Node* n = nullptr;
-  // Reuse a freelist node header if one is idle in the smallest class; its
-  // old storage is replaced by the adopted storage via move-assign. This
-  // thread's magazine is searched first, then the shared slab.
-  if (ThreadCache* tc = thread_cache(true)) {
+  for (int pass = 0; pass < 2 && n == nullptr; ++pass) {
     for (int c = 0; c < kClasses && n == nullptr; ++c) {
-      if (!tc->items[c].empty()) {
-        n = tc->items[c].back();
-        tc->items[c].pop_back();
-      }
-    }
-  }
-  if (n == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int c = 0; c < kClasses; ++c) {
       if (!free_[c].empty()) {
         n = free_[c].back();
         free_[c].pop_back();
-        break;
       }
     }
+    if (n == nullptr && (pass != 0 || remote_.empty())) break;
+    if (n == nullptr) drain_remote_unlocked();
   }
   if (n != nullptr) {
     n->bytes = std::move(bytes);
@@ -374,49 +310,69 @@ BufferPool::Handle BufferPool::adopt(Bytes&& bytes) {
   } else {
     ++stats_.misses;
     n = new Node;
+    n->home = this;
     n->bytes = std::move(bytes);
   }
   return wrap(n);
 }
 
-void BufferPool::recycle(Bytes* b) noexcept {
-  --stats_.live;
-  ++stats_.recycled;
-  stats_.recycled_bytes += b->capacity();
+void BufferPool::route_free(Bytes* b) noexcept {
+  // Node is standard-layout with bytes as its first member.
+  Node* n = reinterpret_cast<Node*>(b);
+  BufferPool* home = n->home;
+  // Poison + clear on the FREEING thread: storage scrubbed while its refs
+  // are provably dead, and remote-parked nodes hold no surprises.
   if (poison_enabled() && !b->empty()) {
     std::memset(b->data(), kPoisonByte, b->size());
   }
   b->clear();
-  int c = class_for_capacity(b->capacity());
-  // Node is standard-layout with bytes as its only member.
-  Node* n = reinterpret_cast<Node*>(b);
+  --home->stats_.live;
+  if (home->owner_token_ != nullptr &&
+      home->owner_token_ == current_owner_token()) {
+    home->recycle_local(n);
+    return;
+  }
+  ++home->stats_.remote_freed;
+  home->remote_.push(n);
+}
+
+void BufferPool::recycle_local(Node* n) noexcept {
+  ++stats_.recycled;
+  stats_.recycled_bytes += n->bytes.capacity();
+  int c = class_for_capacity(n->bytes.capacity());
   if (c < 0) {
     // Tiny capacity: keep the node, drop the guarantee by parking it in
     // class 0 after reserving the base capacity (still amortized: happens
     // once per node).
-    b->reserve(kBaseCapacity);
+    ScopedAllocTag tag(AllocTag::kBuffer);
+    n->bytes.reserve(kBaseCapacity);
     c = 0;
   }
-  // Never *create* a cache on the free path (cross-shard releases during
-  // static destruction).
-  if (ThreadCache* tc = thread_cache(false)) {
-    tc->items[c].push_back(n);
-    if (tc->items[c].size() > static_cast<std::size_t>(kMagazine)) {
-      spill_class(*tc, c, static_cast<std::size_t>(kMagazine) / 2);
-    }
-    return;
-  }
-  std::lock_guard<std::mutex> lock(mu_);
   free_[c].push_back(n);
 }
 
-BufferPool& buffer_pool() {
-  static auto* pool = [] {
-    auto* p = new BufferPool;
-    register_pool_stats("mem/buffer", &p->stats());
-    return p;
-  }();
-  return *pool;
+void BufferPool::drain_remote() {
+  MaybeLock lk(lock_if());
+  drain_remote_unlocked();
+}
+
+void BufferPool::drain_remote_unlocked() noexcept {
+  Node* n = remote_.take_all();
+  while (n != nullptr) {
+    Node* next = n->remote_next;
+    ++stats_.remote_drained;
+    recycle_local(n);
+    n = next;
+  }
+}
+
+void BufferPool::purge_free() {
+  MaybeLock lk(lock_if());
+  drain_remote_unlocked();
+  for (auto& cls : free_) {
+    for (Node* n : cls) delete n;
+    cls.clear();
+  }
 }
 
 }  // namespace asp::mem

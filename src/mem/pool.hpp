@@ -1,56 +1,49 @@
-// Pooled-buffer & arena memory subsystem: the per-packet fast path must not
-// touch the general-purpose allocator.
+// Shard-local pooled memory: the per-packet fast path must not touch the
+// general-purpose allocator OR any shared mutable cache line.
 //
 // Line-rate packet processors (P4 targets, kernel ASPs like the paper's
 // Solaris module) reach "as fast as the hardware allows" by recycling every
-// per-packet object through freelists sized at install time. This library
-// supplies the building blocks the rest of the tree threads through its
-// allocation sites:
+// per-packet object through freelists sized at install time. PR 4 built the
+// pools; this layer makes them scale: every pool instance is owned by exactly
+// ONE shard (mem/shard.hpp binds a shard to a thread), so the steady-state
+// alloc/free path is plain single-threaded code — no locks, no atomics except
+// relaxed stat counters — and cross-shard frees ride a lock-free MPSC
+// remote-free channel drained by the owner at window barriers, exactly how
+// cross-shard frames already flow through net/mailbox.hpp.
 //
-//   SlabPool / SlabAllocator   size-classed raw blocks; backs the shared_ptr
-//                              control blocks of pooled handles.
-//   BufferPool                 recycles the byte vectors behind net::Buffer;
-//                              the shared_ptr deleter returns storage (with
-//                              its capacity) to a size-classed freelist when
-//                              the last Payload / blob Value lets go.
-//   VecPool<T>                 same discipline for std::vector<T> (PLAN-P
-//                              tuple storage), keeping element capacity.
-//   BoxPool<T>                 single-object boxes (in-flight Packets) so
-//                              event callbacks capture one pointer instead of
-//                              a 150-byte struct.
-//   FrameArena<T>              per-engine, depth-indexed execution frames
-//                              (locals / stack / args) reused packet to
-//                              packet.
+//   SlabPool          size-classed raw blocks carved from 64 KiB-aligned
+//                     chunks; a hierarchical binmap (mem/binmap.hpp) per class
+//                     answers "which chunk has a free block" in three
+//                     find-first-set steps. Backs shared_ptr control blocks.
+//   BufferPool        recycles the byte vectors behind net::Buffer with their
+//                     capacity, classed by power-of-two capacity.
+//   VecPool<T>        same discipline for std::vector<T> (PLAN-P tuples).
+//   BoxPool<T>        single-object boxes (in-flight Packets) so event
+//                     callbacks capture one pointer instead of ~150 bytes.
+//   FrameArena<T>     per-engine, depth-indexed execution frames — engine-
+//                     confined, unchanged by the sharding.
 //
-// Cross-cutting facilities:
-//   AllocTag / ScopedAllocTag  thread-local attribution of heap allocations
-//                              to a subsystem, so bench_fastpath can report
-//                              allocs/packet per source (buffer / tuple /
-//                              frame / event / other) instead of one
-//                              aggregate.
-//   poison-on-free             debug mode (ASP_MEM_POISON=1 or set_poison)
-//                              that scribbles recycled memory so a
-//                              use-after-recycle surfaces as loud garbage
-//                              instead of silently reading stale bytes.
+// Ownership & the remote-free protocol (DESIGN.md §6e):
+//   * Every pooled object records its HOME pool: slab blocks resolve their
+//     chunk header by address mask (chunks are kChunkAlign-aligned and carry
+//     `home`), node pools (Buffer/Vec/Box) keep a `home` field in the node —
+//     the per-block ownership header.
+//   * Allocation only ever touches the calling shard's own instance.
+//   * A free executed on the owning shard goes straight back on the freelist.
+//   * A free executed anywhere else (a packet's buffer crossing a shard
+//     boundary, a release after the owning thread exited, static
+//     destruction) pushes the object onto the home pool's remote-free
+//     channel: a Treiber-stack CAS, never a lock, never a touch of the
+//     owner's freelists.
+//   * The owner drains its channels at window barriers (net/exec.cpp), when
+//     a local freelist runs empty, and at thread exit — so remote frees are
+//     reclaimed without ever synchronizing the hot path.
 //
-// All pools are process-lifetime leaked singletons: recycling deleters can
-// run during static destruction (e.g. the shared empty payload buffer), so
-// the pools they point at must never be destroyed.
-//
-// Threading model (DESIGN.md §6f): the parallel executor runs one event loop
-// per shard, and pooled objects (payload buffers, control blocks, boxed
-// packets) may be *freed* on a different shard than the one that allocated
-// them (a packet crossing a shard boundary carries its buffer along). The
-// process-wide pools therefore grow csuperalloc-style thread-local caches:
-//
-//   * the fast path (acquire/recycle) touches only the calling thread's
-//     magazine — no lock, no shared cache line;
-//   * magazine overflow / underflow moves a half-magazine batch through the
-//     mutex-guarded shared spill slab (cold, amortized);
-//   * a thread's magazine spills back to the shared slab at thread exit, so
-//     short-lived executor workers don't strand capacity. Deleters that run
-//     after a thread's cache is gone (static destruction, post-exit frees)
-//     fall back to the locked shared slab directly.
+// The only locked operations left are the cold registry paths (stats
+// registration, shard binding) and the ORPHAN pools that serve allocations on
+// threads whose shard binding was already torn down (static destruction);
+// every orphan acquisition is counted in `spills`, and benches assert the
+// counter stays 0 in steady state.
 //
 // Pool statistics are relaxed atomics (obs::RelaxedU64): exact totals at
 // barriers, no synchronization on the hot path.
@@ -60,12 +53,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <new>
 #include <string>
 #include <vector>
 
+#include "mem/binmap.hpp"
 #include "obs/relaxed.hpp"
 
 namespace asp::mem {
@@ -112,97 +107,274 @@ void set_poison(bool on);
 inline constexpr std::uint8_t kPoisonByte = 0xA5;
 inline constexpr std::int64_t kPoisonInt = 0x504F4953;  // "POIS"
 
+// --- shard binding hooks (implemented in shard.cpp) ---------------------------
+
+/// Opaque identity of the shard bound to the calling thread, or nullptr when
+/// the thread is unbound (shard binding torn down during static destruction,
+/// or never established). The free path compares a pool's owner token against
+/// this to decide local-freelist vs remote-channel — a single TLS read.
+const void* current_owner_token() noexcept;
+
+class SlabPool;
+/// The calling shard's slab (lazily binding the thread); used by the
+/// default-constructed SlabAllocator.
+SlabPool& current_slab();
+
 // --- pool statistics ----------------------------------------------------------
 
 /// Counters every pool keeps internally (own cells, not obs instruments:
 /// recycling deleters may run during static destruction, after the metrics
 /// registry is gone). publish_metrics() snapshots them into obs::registry().
-/// The cells are relaxed atomics so any shard thread may bump them; totals
-/// are exact at window barriers (every update is a commutative add).
+/// The cells are relaxed atomics — remote frees bump the HOME pool's stats
+/// from foreign threads; every update is a commutative add, so totals are
+/// exact at window barriers.
 struct PoolStats {
   obs::RelaxedU64 hits;            // acquisitions served from a freelist
   obs::RelaxedU64 misses;          // acquisitions that hit operator new
   obs::RelaxedU64 recycled;        // objects returned to a freelist
   obs::RelaxedU64 recycled_bytes;  // capacity of recycled byte storage
   obs::RelaxedU64 live;            // currently checked-out objects
+  obs::RelaxedU64 remote_freed;    // frees pushed onto the remote channel
+  obs::RelaxedU64 remote_drained;  // remote frees reclaimed by the owner
+  obs::RelaxedU64 spills;          // locked orphan-path operations (0 steady)
+
+  /// Test hook: zeroes every counter except `live` (which tracks real
+  /// checked-out objects and must stay truthful across resets).
+  void reset_counters() {
+    hits = 0;
+    misses = 0;
+    recycled = 0;
+    recycled_bytes = 0;
+    remote_freed = 0;
+    remote_drained = 0;
+    spills = 0;
+  }
 };
 
-/// Registers a pool's stats under `name` (e.g. "mem/buffer") for
+/// Registers a pool's stats under `name` (e.g. "mem/shard0/slab") for
 /// publish_metrics(). The pointer must stay valid for the process lifetime
-/// (all pools are leaked singletons, so it does).
+/// (shard pool instances are leaked, so it does).
 void register_pool_stats(const std::string& name, const PoolStats* stats);
 
 /// Copies every registered pool's counters into obs::registry() as gauges
-/// (mem/<pool>/{hits,misses,recycled,recycled_bytes,live}), plus
-/// mem/event/heap_captures. Benches call this right before exporting JSON.
+/// (mem/shard<K>/<pool>/{hits,misses,recycled,recycled_bytes,live,
+/// remote_freed,remote_drained,spills}), plus mem/event/heap_captures.
+/// Benches call this right before exporting JSON.
 void publish_metrics();
+
+/// Plain-value totals across every registered pool (all shards + orphan).
+/// Benches difference these around a steady-state loop: `spills` is the
+/// "did anything take a mutex on the pool path" probe CI gates on, and
+/// `remote_freed == remote_drained` after final drains proves no block is
+/// stranded on a channel.
+struct PoolTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t recycled = 0;
+  std::uint64_t live = 0;
+  std::uint64_t remote_freed = 0;
+  std::uint64_t remote_drained = 0;
+  std::uint64_t spills = 0;
+};
+PoolTotals total_pool_stats();
 
 /// Oversized event-callback captures that fell back to the heap (see
 /// SmallFn in smallfn.hpp). Kept here so pool.cpp owns all counters.
 void note_heap_capture(std::size_t bytes);
 std::uint64_t heap_capture_count();
 
+// --- remote-free channels -----------------------------------------------------
+
+/// Lock-free MPSC stack of raw blocks: any thread pushes (Treiber CAS, the
+/// block's first word is the link), only the owning shard drains. The same
+/// design as net::Mailbox — remote frees are to pools what cross-shard
+/// frames are to event queues, and they synchronize the same way (release
+/// push / acquire drain).
+class RemoteFreeChannel {
+ public:
+  void push(void* p) noexcept {
+    void* h = head_.load(std::memory_order_relaxed);
+    do {
+      *static_cast<void**>(p) = h;
+    } while (!head_.compare_exchange_weak(h, p, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Owner only. Returns the whole chain (first-word links), or nullptr.
+  void* take_all() noexcept { return head_.exchange(nullptr, std::memory_order_acquire); }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<void*> head_{nullptr};
+};
+
+/// RemoteFreeChannel for node-based pools whose nodes hold live C++ objects:
+/// the link is an explicit `remote_next` member, so pushing never clobbers
+/// the node's contents.
+template <typename Node>
+class RemoteFreeList {
+ public:
+  void push(Node* n) noexcept {
+    Node* h = head_.load(std::memory_order_relaxed);
+    do {
+      n->remote_next = h;
+    } while (!head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  Node* take_all() noexcept { return head_.exchange(nullptr, std::memory_order_acquire); }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<Node*> head_{nullptr};
+};
+
+// --- pool base ----------------------------------------------------------------
+
+/// Common surface the shard registry (mem/shard.hpp) drives: barrier drains,
+/// test purges/resets. Virtual dispatch only on these cold paths — the
+/// alloc/free fast paths are direct calls on the concrete types.
+class PoolBase {
+ public:
+  virtual ~PoolBase() = default;
+  /// Owner thread (or locked orphan): reclaim everything queued on the
+  /// remote-free channel into the local freelists.
+  virtual void drain_remote() = 0;
+  /// Test hook: release every free object back to the system so the next
+  /// acquisition deterministically misses. Live objects are untouched.
+  virtual void purge_free() = 0;
+
+  const PoolStats& stats() const { return stats_; }
+  void reset_stats_for_test() { stats_.reset_counters(); }
+
+ protected:
+  PoolStats stats_;
+};
+
+/// Engages a pool's mutex only in locked (orphan) mode; shard-owned pools
+/// construct this with nullptr and never touch a lock.
+class MaybeLock {
+ public:
+  explicit MaybeLock(std::mutex* m) : m_(m) {
+    if (m_ != nullptr) m_->lock();
+  }
+  ~MaybeLock() {
+    if (m_ != nullptr) m_->unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex* m_;
+};
+
 // --- slab pool ----------------------------------------------------------------
 
-/// Size-classed freelist allocator for small raw blocks (shared_ptr control
-/// blocks, pooled box headers). Blocks are carved from chunked operator-new
-/// refills and never returned to the OS; a free block's first word links the
-/// freelist. Requests above kMaxBlock fall through to operator new.
+/// Size-classed allocator for small raw blocks (shared_ptr control blocks of
+/// pooled handles). Blocks are carved from kChunkAlign-aligned chunks of 64
+/// blocks; each chunk keeps a one-word free mask and each class a
+/// hierarchical Binmap over its chunks, so allocation is find-first-set all
+/// the way down — no freelist walk, no lock. The chunk header doubles as the
+/// ownership header: any pointer masks back to its chunk, which names the
+/// home pool. Requests above kMaxBlock fall through to operator new.
 ///
-/// Thread-safe: each thread keeps a private per-class magazine (linked stacks
-/// capped at kMagazine blocks); the shared per-class freelists behind `mu_`
-/// act as the spill slab. allocate/deallocate touch only the magazine on the
-/// steady path; refill and overflow move half-magazine batches under the
-/// lock. Blocks freed on a thread with no magazine (e.g. during static
-/// destruction, after the thread cache spilled) go straight to the shared
-/// slab.
-class SlabPool {
+/// Single-owner: allocate()/drain_remote() run only on the owning shard's
+/// thread (the orphan instance locks instead and counts spills). deallocate()
+/// runs anywhere — it routes by the chunk's home pool, pushing onto the
+/// remote-free channel when the caller is not the owner.
+class SlabPool : public PoolBase {
  public:
   static constexpr std::size_t kAlign = alignof(std::max_align_t);
   static constexpr std::size_t kMaxBlock = 512;
   static constexpr int kChunkBlocks = 64;
-  static constexpr int kMagazine = 64;  // per-thread, per-class cap
+  static constexpr std::size_t kChunkAlign = 64 * 1024;
+
+  /// `owner_token` identifies the owning shard for free-path routing
+  /// (nullptr = orphan, always routed remotely); `locked` guards every
+  /// owner-side operation with a mutex (orphan only).
+  SlabPool(const std::string& name, const void* owner_token, bool locked);
+  ~SlabPool() override;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
 
   void* allocate(std::size_t bytes);
+  /// Any thread. Routes to the block's home pool regardless of which
+  /// instance it is invoked on.
   void deallocate(void* p, std::size_t bytes) noexcept;
 
-  const PoolStats& stats() const { return stats_; }
+  void drain_remote() override;
+  void purge_free() override;
 
  private:
+  struct Chunk {
+    std::uint64_t free_mask = 0;  // bit b set = block b free
+    SlabPool* home = nullptr;
+    std::uint32_t cls = 0;
+    std::uint32_t dir_index = 0;  // position in the class directory
+
+    std::uint8_t* base() {
+      return reinterpret_cast<std::uint8_t*>(this) + kBlockOffset;
+    }
+  };
+  // First block offset inside a chunk: past the header, cache-line aligned.
+  static constexpr std::size_t kBlockOffset = 128;
+  static_assert(sizeof(Chunk) <= kBlockOffset);
+  static_assert(kBlockOffset + kChunkBlocks * kMaxBlock <= kChunkAlign);
+
+  struct ClassDir {
+    Binmap avail;                // chunks with at least one free block
+    std::vector<Chunk*> chunks;  // every chunk of the class, dir_index-stable
+  };
+
   static constexpr int kClasses = static_cast<int>(kMaxBlock / kAlign);
   static int class_of(std::size_t bytes) {
     return static_cast<int>((bytes + kAlign - 1) / kAlign) - 1;
   }
+  static std::size_t block_size(int c) {
+    return static_cast<std::size_t>(c + 1) * kAlign;
+  }
+  static Chunk* chunk_of(void* p) {
+    return reinterpret_cast<Chunk*>(reinterpret_cast<std::uintptr_t>(p) &
+                                    ~(kChunkAlign - 1));
+  }
 
-  struct ThreadCache;  // per-thread magazines (pool.cpp)
-  static thread_local ThreadCache* tls_;  // trivially destructible slot
-  ThreadCache* thread_cache(bool create);
-  void* allocate_slow(int c, ThreadCache* tc);
-  void spill_class(ThreadCache& tc, int c, int keep) noexcept;
-  void spill_all(ThreadCache& tc) noexcept;
+  std::mutex* lock_if() { return locked_ ? &mu_ : nullptr; }
+  void* refill(int c);
+  void free_local(Chunk* ch, void* p) noexcept;
+  void drain_remote_unlocked() noexcept;
 
-  std::mutex mu_;               // guards free_ (the shared spill slab)
-  void* free_[kClasses] = {};
-  PoolStats stats_;
+  const void* owner_token_;
+  const bool locked_;
+  std::mutex mu_;  // engaged only when locked_ (orphan)
+  ClassDir dirs_[kClasses];
+  RemoteFreeChannel remote_;
 };
 
-/// The process-wide slab pool (leaked singleton).
-SlabPool& slab_pool();
-
-/// std::allocator-shaped adaptor over slab_pool(), used to put shared_ptr
-/// control blocks of pooled handles on freelists.
+/// std::allocator-shaped adaptor over a shard's SlabPool, used to put
+/// shared_ptr control blocks of pooled handles on freelists. Stateful (which
+/// slab serves *allocations*), but deallocation routes by the block's home,
+/// so all instances compare equal.
 template <typename T>
 struct SlabAllocator {
   using value_type = T;
-  SlabAllocator() noexcept = default;
+  SlabPool* slab;
+
+  SlabAllocator() noexcept : slab(&current_slab()) {}
+  explicit SlabAllocator(SlabPool& s) noexcept : slab(&s) {}
   template <typename U>
-  SlabAllocator(const SlabAllocator<U>&) noexcept {}  // NOLINT: converting
+  SlabAllocator(const SlabAllocator<U>& o) noexcept : slab(o.slab) {}  // NOLINT
 
   T* allocate(std::size_t n) {
-    return static_cast<T*>(slab_pool().allocate(n * sizeof(T)));
+    return static_cast<T*>(slab->allocate(n * sizeof(T)));
   }
   void deallocate(T* p, std::size_t n) noexcept {
-    slab_pool().deallocate(p, n * sizeof(T));
+    slab->deallocate(p, n * sizeof(T));
   }
   friend bool operator==(SlabAllocator, SlabAllocator) { return true; }
   friend bool operator!=(SlabAllocator, SlabAllocator) { return false; }
@@ -214,19 +386,22 @@ struct SlabAllocator {
 /// acquire() hands out a shared vector whose deleter returns the node (with
 /// its capacity intact) to a capacity-classed freelist once the last
 /// reference — Payload, blob Value, or aliased packet — drops. The returned
-/// shared_ptr's control block comes from the slab pool, so a steady-state
-/// acquire/release cycle performs zero heap allocations.
+/// shared_ptr's control block comes from the owning shard's slab pool, so a
+/// steady-state acquire/release cycle performs zero heap allocations.
 ///
-/// Thread-safe with the same magazine/spill-slab discipline as SlabPool: a
-/// packet's payload buffer may be acquired on one shard and released on
-/// another after crossing a shard boundary; the deleter pushes it onto the
-/// releasing thread's magazine (or the locked shared slab when that thread
-/// has no cache).
-class BufferPool {
+/// Single-owner with remote-free routing: the deleter may run on any shard
+/// (a packet's payload crosses shard boundaries); it pushes the node onto
+/// the home pool's remote channel unless the caller IS the owner.
+class BufferPool : public PoolBase {
  public:
   using Bytes = std::vector<std::uint8_t>;
   using Handle = std::shared_ptr<Bytes>;
-  static constexpr int kMagazine = 32;  // per-thread, per-class cap
+
+  BufferPool(const std::string& name, SlabPool& slab, const void* owner_token,
+             bool locked);
+  ~BufferPool() override;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
 
   /// Empty vector with capacity >= `capacity_hint` (rounded to a class).
   Handle acquire(std::size_t capacity_hint);
@@ -236,18 +411,20 @@ class BufferPool {
   /// adopted capacity is recycled for future acquires.
   Handle adopt(Bytes&& bytes);
 
-  const PoolStats& stats() const { return stats_; }
+  void drain_remote() override;
+  void purge_free() override;
 
  private:
   static constexpr std::size_t kBaseCapacity = 64;
   static constexpr int kClasses = 16;  // 64 B ... 2 MiB
 
   struct Node {
-    Bytes bytes;
+    Bytes bytes;  // must stay first: handles point at it, recycle casts back
+    Node* remote_next = nullptr;
+    BufferPool* home = nullptr;
   };
   struct Recycler {
-    BufferPool* pool;
-    void operator()(Bytes* b) const noexcept { pool->recycle(b); }
+    void operator()(Bytes* b) const noexcept { BufferPool::route_free(b); }
   };
 
   // Smallest class whose guaranteed capacity covers `n` (for acquire).
@@ -255,22 +432,22 @@ class BufferPool {
   // Largest class whose guaranteed capacity is <= `n` (for recycling).
   static int class_for_capacity(std::size_t n);
 
-  struct ThreadCache;  // per-thread magazines (pool.cpp)
-  static thread_local ThreadCache* tls_;  // trivially destructible slot
-  ThreadCache* thread_cache(bool create);
-  void spill_class(ThreadCache& tc, int c, std::size_t keep) noexcept;
-  void spill_all(ThreadCache& tc) noexcept;
+  /// Free-path entry, any thread: poisons/clears on the freeing thread so
+  /// aliased references are released promptly, then routes by `home`.
+  static void route_free(Bytes* b) noexcept;
 
+  std::mutex* lock_if() { return locked_ ? &mu_ : nullptr; }
   Handle wrap(Node* n);
-  void recycle(Bytes* b) noexcept;
+  void recycle_local(Node* n) noexcept;
+  void drain_remote_unlocked() noexcept;
 
-  std::mutex mu_;  // guards free_ (the shared spill slab)
+  const void* owner_token_;
+  const bool locked_;
+  std::mutex mu_;  // engaged only when locked_ (orphan)
+  SlabPool* slab_;
   std::vector<Node*> free_[kClasses];
-  PoolStats stats_;
+  RemoteFreeList<Node> remote_;
 };
-
-/// The process-wide buffer pool (leaked singleton).
-BufferPool& buffer_pool();
 
 // --- generic vector pool ------------------------------------------------------
 
@@ -286,36 +463,33 @@ struct NoPoison {
   void operator()(std::vector<T>&) const {}
 };
 
-/// Sharing modes for the header-only pools (VecPool, BoxPool).
-///   kShardConfined  single-owner pool: one shard (thread) does every
-///                   acquire and release. No locks, no magazines — the
-///                   default, used by per-engine pools.
-///   kShared         process-wide singleton touched from any shard thread:
-///                   fast path through a per-thread magazine, overflow /
-///                   refill through a mutex-guarded shared freelist (the
-///                   spill slab). Used by net::packet_boxes() and the PLAN-P
-///                   tuple pool.
-enum class PoolMode { kShardConfined, kShared };
-
 template <typename T, typename PoisonFill = NoPoison<T>>
-class VecPool {
+class VecPool : public PoolBase {
  public:
   using Vec = std::vector<T>;
   using Handle = std::shared_ptr<Vec>;
-  static constexpr std::size_t kMagazine = 64;  // per-thread cap (kShared)
 
-  VecPool(std::string name, AllocTag tag, PoolMode mode = PoolMode::kShardConfined)
-      : tag_(tag), shared_(mode == PoolMode::kShared) {
+  VecPool(const std::string& name, AllocTag tag, SlabPool& slab,
+          const void* owner_token, bool locked)
+      : tag_(tag), owner_token_(owner_token), locked_(locked), slab_(&slab) {
     register_pool_stats(name, &stats_);
   }
+  ~VecPool() override { purge_free(); }
   VecPool(const VecPool&) = delete;
   VecPool& operator=(const VecPool&) = delete;
 
-  /// Empty vector, capacity from its previous life. `reserve_hint` is
-  /// honored on the (counted) miss path so steady-state pushes never grow.
+  /// Owner thread only (callers reach their own shard's instance through
+  /// mem/shard.hpp). Empty vector, capacity from its previous life;
+  /// `reserve_hint` is honored on the (counted) miss path so steady-state
+  /// pushes never grow.
   Handle acquire(std::size_t reserve_hint) {
-    Node* n = shared_ ? take_shared() : take_local();
-    if (n != nullptr) {
+    MaybeLock lk(lock_if());
+    if (locked_) ++stats_.spills;
+    if (free_.empty() && !remote_.empty()) drain_remote_unlocked();
+    Node* n = nullptr;
+    if (!free_.empty()) {
+      n = free_.back();
+      free_.pop_back();
       ++stats_.hits;
       if (n->vec.capacity() < reserve_hint) {
         ScopedAllocTag tag(tag_);
@@ -325,124 +499,74 @@ class VecPool {
       ScopedAllocTag tag(tag_);
       ++stats_.misses;
       n = new Node;
+      n->home = this;
       n->vec.reserve(reserve_hint);
     }
     ++stats_.live;
-    return Handle(&n->vec, Recycler{this}, SlabAllocator<Vec>{});
+    return Handle(&n->vec, Recycler{}, SlabAllocator<Vec>{*slab_});
   }
 
-  const PoolStats& stats() const { return stats_; }
+  void drain_remote() override {
+    MaybeLock lk(lock_if());
+    drain_remote_unlocked();
+  }
+
+  void purge_free() override {
+    MaybeLock lk(lock_if());
+    drain_remote_unlocked();
+    for (Node* n : free_) delete n;
+    free_.clear();
+  }
 
  private:
   struct Node {
-    Vec vec;
+    Vec vec;  // must stay first: handles point at it, recycle casts back
+    Node* remote_next = nullptr;
+    VecPool* home = nullptr;
   };
   struct Recycler {
-    VecPool* pool;
-    void operator()(Vec* v) const noexcept { pool->recycle(v); }
-  };
-  struct ThreadCache {
-    VecPool* owner = nullptr;
-    std::vector<Node*> items;
+    void operator()(Vec* v) const noexcept { VecPool::route_free(v); }
   };
 
-  static ThreadCache*& tls_slot() {
-    // Trivially destructible: stays readable through static destruction; the
-    // Holder nulls it when the thread's cache goes away.
-    static thread_local ThreadCache* slot = nullptr;
-    return slot;
-  }
-
-  ThreadCache* thread_cache(bool create) {
-    ThreadCache* tc = tls_slot();
-    if (tc != nullptr) return tc->owner == this ? tc : nullptr;
-    if (!create) return nullptr;
-    struct Holder {
-      ThreadCache cache;
-      ~Holder() {
-        if (cache.owner != nullptr) cache.owner->spill_all(cache);
-        tls_slot() = nullptr;
-      }
-    };
-    static thread_local Holder holder;
-    if (holder.cache.owner != nullptr && holder.cache.owner != this) {
-      return nullptr;  // another instance owns this thread's cache slot
-    }
-    holder.cache.owner = this;
-    tls_slot() = &holder.cache;
-    return &holder.cache;
-  }
-
-  Node* take_local() {
-    if (free_.empty()) return nullptr;
-    Node* n = free_.back();
-    free_.pop_back();
-    return n;
-  }
-
-  Node* take_shared() {
-    ThreadCache* tc = thread_cache(true);
-    if (tc != nullptr && !tc->items.empty()) {
-      Node* n = tc->items.back();
-      tc->items.pop_back();
-      return n;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (free_.empty()) return nullptr;
-    Node* n = free_.back();
-    free_.pop_back();
-    if (tc != nullptr) {  // pull half a magazine while we hold the lock
-      std::size_t batch = std::min(free_.size(), kMagazine / 2);
-      ScopedAllocTag tag(tag_);
-      for (std::size_t i = 0; i < batch; ++i) {
-        tc->items.push_back(free_.back());
-        free_.pop_back();
-      }
-    }
-    return n;
-  }
-
-  void spill_half(ThreadCache& tc) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (tc.items.size() > kMagazine / 2) {
-      free_.push_back(tc.items.back());
-      tc.items.pop_back();
-    }
-  }
-
-  void spill_all(ThreadCache& tc) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (Node* n : tc.items) free_.push_back(n);
-    tc.items.clear();
-  }
-
-  void recycle(Vec* v) noexcept {
+  /// Free-path entry, any thread. Clears on the freeing thread (element
+  /// references — blobs pinning buffers — must release promptly), then
+  /// routes by home: owner -> freelist, anyone else -> remote channel.
+  static void route_free(Vec* v) noexcept {
+    Node* n = reinterpret_cast<Node*>(v);
+    VecPool* home = n->home;
     if (poison_enabled()) PoisonFill{}(*v);
     v->clear();  // destroys elements (releases their refs), keeps capacity
-    ++stats_.recycled;
-    --stats_.live;
-    // Node is standard-layout-compatible: vec is its first (only) member.
-    Node* n = reinterpret_cast<Node*>(v);
-    if (!shared_) {
-      free_.push_back(n);
+    --home->stats_.live;
+    if (home->owner_token_ != nullptr &&
+        home->owner_token_ == current_owner_token()) {
+      ++home->stats_.recycled;
+      home->free_.push_back(n);
       return;
     }
-    // Never *create* a cache on the free path: deleters may run during
-    // static destruction, after this thread's cache was torn down.
-    if (ThreadCache* tc = thread_cache(false)) {
-      tc->items.push_back(n);
-      if (tc->items.size() > kMagazine) spill_half(*tc);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    free_.push_back(n);
+    ++home->stats_.remote_freed;
+    home->remote_.push(n);
   }
 
+  void drain_remote_unlocked() noexcept {
+    Node* n = remote_.take_all();
+    while (n != nullptr) {
+      Node* next = n->remote_next;
+      ++stats_.remote_drained;
+      ++stats_.recycled;
+      free_.push_back(n);
+      n = next;
+    }
+  }
+
+  std::mutex* lock_if() { return locked_ ? &mu_ : nullptr; }
+
   AllocTag tag_;
-  const bool shared_;
-  std::mutex mu_;  // kShared only: guards free_
+  const void* owner_token_;
+  const bool locked_;
+  std::mutex mu_;  // engaged only when locked_ (orphan)
+  SlabPool* slab_;
   std::vector<Node*> free_;
-  PoolStats stats_;
+  RemoteFreeList<Node> remote_;
 };
 
 // --- box pool -----------------------------------------------------------------
@@ -450,154 +574,126 @@ class VecPool {
 /// Pools single objects of T behind a unique-owner handle whose deleter
 /// recycles the node. The point: an event callback capturing a Handle is
 /// pointer-sized, so moving a Packet into a box keeps the whole capture
-/// inside SmallFn's inline buffer. Recycling resets the object to T{} so
-/// held references (payload buffers) release promptly.
+/// inside SmallFn's inline buffer. Recycling resets the object to T{} on the
+/// freeing thread (held references — payload buffers — release promptly),
+/// then routes the node home like every other pool.
 template <typename T>
-class BoxPool {
+class BoxPool : public PoolBase {
  public:
   struct Recycler {
-    BoxPool* pool;
-    void operator()(T* t) const noexcept { pool->recycle(t); }
+    void operator()(T* t) const noexcept { BoxPool::route_free(t); }
   };
   using Handle = std::unique_ptr<T, Recycler>;
-  static constexpr std::size_t kMagazine = 64;  // per-thread cap (kShared)
 
-  BoxPool(std::string name, AllocTag tag, PoolMode mode = PoolMode::kShardConfined)
-      : tag_(tag), shared_(mode == PoolMode::kShared) {
+  BoxPool(const std::string& name, AllocTag tag, const void* owner_token,
+          bool locked)
+      : tag_(tag), owner_token_(owner_token), locked_(locked) {
     register_pool_stats(name, &stats_);
   }
+  ~BoxPool() override { purge_free(); }
   BoxPool(const BoxPool&) = delete;
   BoxPool& operator=(const BoxPool&) = delete;
 
+  /// Owner thread only.
   Handle box(T&& v) {
-    T* t = shared_ ? take_shared() : take_local();
-    if (t != nullptr) {
-      *t = std::move(v);
-      ++stats_.hits;
+    Node* n = take();
+    if (n != nullptr) {
+      n->value = std::move(v);
     } else {
-      ScopedAllocTag tag(tag_);
-      ++stats_.misses;
-      t = new T(std::move(v));
+      n = fresh();
+      n->value = std::move(v);
     }
     ++stats_.live;
-    return Handle(t, Recycler{this});
+    return Handle(&n->value, Recycler{});
   }
 
   /// Copy-in overload: assigns straight into the recycled node, skipping the
   /// temporary + move a `box(T(v))` call would pay. Used by batch producers
   /// that fan one packet out into many boxes.
   Handle box(const T& v) {
-    T* t = shared_ ? take_shared() : take_local();
-    if (t != nullptr) {
-      *t = v;
-      ++stats_.hits;
+    Node* n = take();
+    if (n != nullptr) {
+      n->value = v;
     } else {
-      ScopedAllocTag tag(tag_);
-      ++stats_.misses;
-      t = new T(v);
+      n = fresh();
+      n->value = v;
     }
     ++stats_.live;
-    return Handle(t, Recycler{this});
+    return Handle(&n->value, Recycler{});
   }
 
-  const PoolStats& stats() const { return stats_; }
+  void drain_remote() override {
+    MaybeLock lk(lock_if());
+    drain_remote_unlocked();
+  }
+
+  void purge_free() override {
+    MaybeLock lk(lock_if());
+    drain_remote_unlocked();
+    for (Node* n : free_) delete n;
+    free_.clear();
+  }
 
  private:
-  struct ThreadCache {
-    BoxPool* owner = nullptr;
-    std::vector<T*> items;
+  struct Node {
+    T value{};  // must stay first: handles point at it, recycle casts back
+    Node* remote_next = nullptr;
+    BoxPool* home = nullptr;
   };
 
-  static ThreadCache*& tls_slot() {
-    static thread_local ThreadCache* slot = nullptr;  // trivially destructible
-    return slot;
-  }
-
-  ThreadCache* thread_cache(bool create) {
-    ThreadCache* tc = tls_slot();
-    if (tc != nullptr) return tc->owner == this ? tc : nullptr;
-    if (!create) return nullptr;
-    struct Holder {
-      ThreadCache cache;
-      ~Holder() {
-        if (cache.owner != nullptr) cache.owner->spill_all(cache);
-        tls_slot() = nullptr;
-      }
-    };
-    static thread_local Holder holder;
-    if (holder.cache.owner != nullptr && holder.cache.owner != this) {
-      return nullptr;
-    }
-    holder.cache.owner = this;
-    tls_slot() = &holder.cache;
-    return &holder.cache;
-  }
-
-  T* take_local() {
-    if (free_.empty()) return nullptr;
-    T* t = free_.back();
-    free_.pop_back();
-    return t;
-  }
-
-  T* take_shared() {
-    ThreadCache* tc = thread_cache(true);
-    if (tc != nullptr && !tc->items.empty()) {
-      T* t = tc->items.back();
-      tc->items.pop_back();
-      return t;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (free_.empty()) return nullptr;
-    T* t = free_.back();
-    free_.pop_back();
-    if (tc != nullptr) {
-      std::size_t batch = std::min(free_.size(), kMagazine / 2);
-      ScopedAllocTag tag(tag_);
-      for (std::size_t i = 0; i < batch; ++i) {
-        tc->items.push_back(free_.back());
-        free_.pop_back();
-      }
-    }
-    return t;
-  }
-
-  void spill_half(ThreadCache& tc) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (tc.items.size() > kMagazine / 2) {
-      free_.push_back(tc.items.back());
-      tc.items.pop_back();
-    }
-  }
-
-  void spill_all(ThreadCache& tc) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (T* t : tc.items) free_.push_back(t);
-    tc.items.clear();
-  }
-
-  void recycle(T* t) noexcept {
-    *t = T{};
-    ++stats_.recycled;
-    --stats_.live;
-    if (!shared_) {
-      free_.push_back(t);
+  static void route_free(T* t) noexcept {
+    Node* n = reinterpret_cast<Node*>(t);
+    BoxPool* home = n->home;
+    *t = T{};  // releases held references on the freeing thread
+    --home->stats_.live;
+    if (home->owner_token_ != nullptr &&
+        home->owner_token_ == current_owner_token()) {
+      ++home->stats_.recycled;
+      home->free_.push_back(n);
       return;
     }
-    if (ThreadCache* tc = thread_cache(false)) {  // never create on free
-      tc->items.push_back(t);
-      if (tc->items.size() > kMagazine) spill_half(*tc);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    free_.push_back(t);
+    ++home->stats_.remote_freed;
+    home->remote_.push(n);
   }
+
+  Node* take() {
+    MaybeLock lk(lock_if());
+    if (locked_) ++stats_.spills;
+    if (free_.empty() && !remote_.empty()) drain_remote_unlocked();
+    if (free_.empty()) return nullptr;
+    Node* n = free_.back();
+    free_.pop_back();
+    ++stats_.hits;
+    return n;
+  }
+
+  Node* fresh() {
+    ScopedAllocTag tag(tag_);
+    ++stats_.misses;
+    Node* n = new Node;
+    n->home = this;
+    return n;
+  }
+
+  void drain_remote_unlocked() noexcept {
+    Node* n = remote_.take_all();
+    while (n != nullptr) {
+      Node* next = n->remote_next;
+      ++stats_.remote_drained;
+      ++stats_.recycled;
+      free_.push_back(n);
+      n = next;
+    }
+  }
+
+  std::mutex* lock_if() { return locked_ ? &mu_ : nullptr; }
 
   AllocTag tag_;
-  const bool shared_;
-  std::mutex mu_;  // kShared only: guards free_
-  std::vector<T*> free_;
-  PoolStats stats_;
+  const void* owner_token_;
+  const bool locked_;
+  std::mutex mu_;  // engaged only when locked_ (orphan)
+  std::vector<Node*> free_;
+  RemoteFreeList<Node> remote_;
 };
 
 // --- frame arena --------------------------------------------------------------
@@ -607,6 +703,7 @@ class BoxPool {
 /// args vectors (and their capacity) packet after packet instead of
 /// constructing fresh std::vectors per call. Frames are held by unique_ptr,
 /// so references handed out stay stable while deeper frames are created.
+/// Engine-confined (an engine runs on one shard at a time), so no routing.
 template <typename T>
 class FrameArena {
  public:

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <tuple>
 
+#include "mem/shard.hpp"
 #include "net/medium.hpp"
 #include "net/node.hpp"
 
@@ -56,6 +57,9 @@ ParallelExecutor::~ParallelExecutor() {
     }
     cv_work_.notify_all();
     for (std::thread& t : workers_) t.join();
+    // Workers drained their own channels on exit; sweep anything they freed
+    // back to the coordinator's shard on the way out.
+    mem::drain_remote_frees();
   }
   net_.set_run_override({}, {});
   // Rebind everything to the primary queue so the Network stays usable
@@ -209,6 +213,10 @@ SimTime ParallelExecutor::next_min() {
 }
 
 void ParallelExecutor::worker_main(int shard) {
+  // Pin this thread to pool set `shard`: every pool acquisition in the
+  // window body below is shard-local (mem/shard.hpp), and frees of foreign
+  // blocks ride the remote-free channels drained at the barrier.
+  mem::bind_shard(shard);
   Shard& me = shards_[static_cast<std::size_t>(shard)];
   std::uint64_t seen = 0;
   for (;;) {
@@ -221,6 +229,10 @@ void ParallelExecutor::worker_main(int shard) {
       cap = target_;
     }
     std::uint64_t ran = me.queue->run_until(cap);
+    // Barrier drain: reclaim blocks other shards freed back to us during the
+    // window, before parking. Memory-only — event order is untouched, so
+    // serial-vs-sharded determinism is unaffected.
+    mem::drain_remote_frees();
     {
       std::lock_guard<std::mutex> lk(mu_);
       me.events_run += ran;
@@ -239,6 +251,7 @@ void ParallelExecutor::dispatch_window(SimTime cap) {
   }
   cv_work_.notify_all();
   shards_[0].events_run += shards_[0].queue->run_until(cap);  // coordinator = shard 0
+  mem::drain_remote_frees();  // barrier drain for the coordinator's shard
   {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] { return pending_ == 0; });

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "mem/shard.hpp"
+
 namespace asp::net {
 
 Buffer make_buffer(std::vector<std::uint8_t> bytes) {
@@ -100,11 +102,26 @@ Packet Packet::make_raw(Ipv4Addr src, Ipv4Addr dst, Payload payload) {
 }
 
 mem::BoxPool<Packet>& packet_boxes() {
-  // Leaked: recycling deleters may run during static destruction. kShared:
-  // a boxed packet can cross a shard boundary and be recycled over there.
-  static auto* pool = new mem::BoxPool<Packet>("mem/packet_box", mem::AllocTag::kEvent,
-                                               mem::PoolMode::kShared);
-  return *pool;
+  // Shard-local slot: each shard boxes packets out of its own instance
+  // (leaked with its ShardPools); a box recycled across a shard boundary —
+  // or during static destruction — rides the remote-free channel home.
+  static const int slot =
+      mem::ShardPools::register_slot([](mem::ShardPools& sp) -> mem::PoolBase* {
+        return new mem::BoxPool<Packet>("mem/" + sp.label() + "/packet_box",
+                                        mem::AllocTag::kEvent, sp.token(),
+                                        sp.locked());
+      });
+  struct Cache {
+    const mem::ShardPools* sp = nullptr;
+    mem::BoxPool<Packet>* pool = nullptr;
+  };
+  static thread_local Cache cache;
+  mem::ShardPools& sp = mem::shard();
+  if (cache.sp != &sp) {
+    cache.sp = &sp;
+    cache.pool = static_cast<mem::BoxPool<Packet>*>(sp.slot(slot));
+  }
+  return *cache.pool;
 }
 
 std::vector<std::uint8_t> bytes_of(const std::string& s) {

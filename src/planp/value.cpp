@@ -1,6 +1,7 @@
 #include "planp/value.hpp"
 
 #include "mem/pool.hpp"
+#include "mem/shard.hpp"
 
 namespace asp::planp {
 
@@ -18,11 +19,28 @@ struct TuplePoison {
 using TuplePool = mem::VecPool<Value, TuplePoison>;
 
 TuplePool& tuple_pool() {
-  // Leaked: tuple handles (e.g. in static test fixtures) may recycle during
-  // static destruction. kShared: every shard thread decodes tuples.
-  static auto* pool =
-      new TuplePool("mem/tuple", mem::AllocTag::kTuple, mem::PoolMode::kShared);
-  return *pool;
+  // Shard-local slot: every shard thread decodes tuples, so each gets its
+  // own instance (leaked with its ShardPools); a tuple recycled on a foreign
+  // shard — or during static destruction — rides the remote-free channel
+  // back to its home instance.
+  static const int slot =
+      mem::ShardPools::register_slot([](mem::ShardPools& sp) -> mem::PoolBase* {
+        return new TuplePool("mem/" + sp.label() + "/tuple", mem::AllocTag::kTuple,
+                             sp.slab(), sp.token(), sp.locked());
+      });
+  // Cache the shard→pool resolution so the steady path is one TLS read +
+  // one compare; refreshes itself after a rebind or TLS teardown.
+  struct Cache {
+    const mem::ShardPools* sp = nullptr;
+    TuplePool* pool = nullptr;
+  };
+  static thread_local Cache cache;
+  mem::ShardPools& sp = mem::shard();
+  if (cache.sp != &sp) {
+    cache.sp = &sp;
+    cache.pool = static_cast<TuplePool*>(sp.slot(slot));
+  }
+  return *cache.pool;
 }
 
 /// Rehydrate a Scalar slot as a full Value (no heap — all alternatives are

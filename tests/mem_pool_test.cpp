@@ -7,7 +7,9 @@
 #include <cstring>
 #include <vector>
 
+#include "mem/binmap.hpp"
 #include "mem/pool.hpp"
+#include "mem/shard.hpp"
 #include "mem/smallfn.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
@@ -27,9 +29,63 @@ struct PoisonGuard {
   ~PoisonGuard() { mem::set_poison(prev); }
 };
 
+// --- binmap -------------------------------------------------------------------
+
+TEST(Binmap, FindFirstTracksLowestSetIndex) {
+  mem::Binmap bm;
+  EXPECT_FALSE(bm.any());
+  EXPECT_EQ(bm.find_first(), -1);
+
+  bm.set(70);
+  bm.set(7);
+  bm.set(4099);  // third l1 group — exercises every tier
+  EXPECT_TRUE(bm.test(7));
+  EXPECT_TRUE(bm.test(70));
+  EXPECT_TRUE(bm.test(4099));
+  EXPECT_FALSE(bm.test(8));
+  EXPECT_EQ(bm.find_first(), 7);
+
+  bm.clear(7);
+  EXPECT_EQ(bm.find_first(), 70);
+  bm.clear(70);
+  EXPECT_EQ(bm.find_first(), 4099);
+  bm.clear(4099);
+  EXPECT_FALSE(bm.any());
+  EXPECT_EQ(bm.find_first(), -1);
+}
+
+TEST(Binmap, ClearBeyondGrowthIsANoOp) {
+  mem::Binmap bm;
+  bm.clear(100000);  // never set, l2 never grown: must not grow or crash
+  bm.set(3);
+  bm.clear(100000);
+  EXPECT_EQ(bm.find_first(), 3);
+}
+
+// --- reset hook ---------------------------------------------------------------
+
+TEST(PoolReset, ResetForTestZeroesCountersAndPurgesFreelists) {
+  mem::reset_for_test();
+  const PoolStats& st = mem::buffer_pool().stats();
+  { auto warm = mem::buffer_pool().acquire(100); }
+  EXPECT_GT(st.misses + st.hits, 0u);
+
+  mem::reset_for_test();
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, 0u);
+  EXPECT_EQ(st.recycled, 0u);
+  EXPECT_EQ(st.spills, 0u);
+  // Freelists purged: the next acquire deterministically misses, regardless
+  // of what earlier tests in this binary recycled.
+  auto buf = mem::buffer_pool().acquire(100);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+}
+
 // --- buffer pool --------------------------------------------------------------
 
 TEST(BufferPool, RecyclingReusesStorageAndCapacity) {
+  mem::reset_for_test();  // deterministic stats baseline (DESIGN.md §6e)
   const PoolStats& st = mem::buffer_pool().stats();
 
   auto first = mem::buffer_pool().acquire(1000);
@@ -96,6 +152,8 @@ TEST(BufferPool, PoisonOnFreeScribblesRecycledBytes) {
 // --- slab pool ----------------------------------------------------------------
 
 TEST(SlabPool, SameClassRoundTripReusesBlock) {
+  // Binmap allocation is lowest-free-first: freeing the lowest block makes
+  // it the very next allocation in its class again.
   void* a = mem::slab_pool().allocate(64);
   mem::slab_pool().deallocate(a, 64);
   void* b = mem::slab_pool().allocate(64);
@@ -181,6 +239,7 @@ TEST(ValueRep, AsTuplePromotesScalarPairLazily) {
 // --- box pool -----------------------------------------------------------------
 
 TEST(BoxPool, BoxedPacketRecyclesAndReleasesPayload) {
+  mem::reset_for_test();  // deterministic stats baseline
   const PoolStats& st = net::packet_boxes().stats();
 
   net::Buffer alias;
