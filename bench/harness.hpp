@@ -7,13 +7,21 @@
 //   --seed=N         base RNG seed for impairment/chaos scenarios
 //   --duration=SECS  simulated duration (fractional seconds accepted)
 //
-// Unknown flags are left alone so google-benchmark binaries can share argv
-// with their own flag parser.
+// Unknown `--` flags are REJECTED with an error (exit 2): a typoed
+// `--shard=4` used to silently run a serial bench that reported itself as
+// sharded. Two escape hatches keep legitimate flag families flowing:
+//   * google-benchmark's own flags (--benchmark_*, --help, --version, --v=)
+//     always pass through, so one argv serves both parsers;
+//   * a driver with extra flags of its own (e.g. --scenario=) lists their
+//     prefixes in `extra_prefixes` and parses them from argv afterwards.
+// Positional (non `--`) arguments are never touched.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 
 namespace asp::bench {
 
@@ -39,6 +47,28 @@ inline bool apply_flag(const char* a, Options& o) {
   return true;
 }
 
+/// Flags that belong to another legitimate parser and must flow through.
+inline bool passthrough_flag(const char* a,
+                             std::initializer_list<const char*> extra_prefixes) {
+  if (std::strncmp(a, "--benchmark_", 12) == 0) return true;
+  if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "--version") == 0)
+    return true;
+  if (std::strncmp(a, "--v=", 4) == 0) return true;  // benchmark verbosity
+  for (const char* p : extra_prefixes) {
+    if (std::strncmp(a, p, std::strlen(p)) == 0) return true;
+  }
+  return false;
+}
+
+[[noreturn]] inline void reject_flag(const char* a) {
+  std::fprintf(stderr,
+               "error: unknown flag '%s'\n"
+               "known flags: --shards=N --seed=N --duration=SECS "
+               "(plus --benchmark_* / --help / --version)\n",
+               a);
+  std::exit(2);
+}
+
 inline Options clamp(Options o) {
   if (o.shards < 1) o.shards = 1;
   if (o.duration_s < 0) o.duration_s = 0;
@@ -49,21 +79,38 @@ inline Options clamp(Options o) {
 /// Parses the shared flags out of argv. `defaults` seeds the result, so each
 /// driver keeps its own scenario defaults for anything not on the command
 /// line. Values are clamped to sane minima (shards >= 1, duration >= 0).
-inline Options parse_options(int argc, char** argv, Options defaults = {}) {
+/// Any other `--` flag not covered by `extra_prefixes` or the benchmark
+/// passthrough list is an error (exit 2).
+inline Options parse_options(int argc, char** argv, Options defaults = {},
+                             std::initializer_list<const char*> extra_prefixes = {}) {
   Options o = defaults;
-  for (int i = 1; i < argc; ++i) detail::apply_flag(argv[i], o);
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (detail::apply_flag(a, o)) continue;
+    if (std::strncmp(a, "--", 2) != 0) continue;  // positional: not ours
+    if (!detail::passthrough_flag(a, extra_prefixes)) detail::reject_flag(a);
+  }
   return detail::clamp(o);
 }
 
 /// parse_options that also REMOVES the recognized flags from argv (compacting
 /// it in place and updating argc). google-benchmark binaries call this BEFORE
 /// benchmark::Initialize, so one command line carries both flag families and
-/// ReportUnrecognizedArguments never trips over ours.
-inline Options parse_and_strip_options(int& argc, char** argv, Options defaults = {}) {
+/// ReportUnrecognizedArguments never trips over ours. Same rejection rule as
+/// parse_options: an unknown `--` flag is fatal, not silently forwarded.
+inline Options parse_and_strip_options(
+    int& argc, char** argv, Options defaults = {},
+    std::initializer_list<const char*> extra_prefixes = {}) {
   Options o = defaults;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (!detail::apply_flag(argv[i], o)) argv[kept++] = argv[i];
+    const char* a = argv[i];
+    if (detail::apply_flag(a, o)) continue;
+    if (std::strncmp(a, "--", 2) == 0 &&
+        !detail::passthrough_flag(a, extra_prefixes)) {
+      detail::reject_flag(a);
+    }
+    argv[kept++] = argv[i];
   }
   argv[kept] = nullptr;  // kept <= argc, so the slot exists
   argc = kept;

@@ -29,7 +29,11 @@ Medium::Medium(EventQueue& events, std::string name, double bits_per_sec,
       delay_(delay),
       queue_capacity_(queue_capacity_bytes) {
   obs::MetricsRegistry& reg = obs::registry();
-  const std::string prefix = "medium/" + name_ + "/";
+  // Coarse mode (scenario-scale topologies): one aggregate instrument set —
+  // see obs::instance_metrics_enabled().
+  const std::string prefix = obs::instance_metrics_enabled()
+                                 ? "medium/" + name_ + "/"
+                                 : "medium/_agg/";
   m_delivered_ = &reg.counter(prefix + "delivered_packets");
   m_drop_queue_ = &reg.counter(prefix + "dropped_queue");
   m_drop_loss_ = &reg.counter(prefix + "dropped_loss");

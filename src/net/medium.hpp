@@ -103,6 +103,13 @@ class Medium {
   /// either endpoint shard, each confined to its own direction).
   virtual void transmit(Interface& from, Packet p) = 0;
 
+  /// Interface-relocation fixup: nodes store interfaces by value in a growable
+  /// array (Node::add_interface), so an attached Interface can move. The node
+  /// calls repoint(slot, fresh) for each attached interface after a grow;
+  /// `slot` is the value Interface::medium_slot() held at attach time.
+  /// Setup-time only (topology construction is single-threaded).
+  virtual void repoint(std::uint32_t /*slot*/, Interface* /*fresh*/) {}
+
   /// Rebinds the medium's scheduling queue (barrier-only: executor install
   /// time). Link-state flips and intra-shard deliveries land on this queue.
   void bind_events(EventQueue& q) { events_ = &q; }
@@ -257,8 +264,14 @@ class PointToPointLink : public Medium, public DeliverySink {
   void connect(Interface& a, Interface& b) {
     ends_[0] = &a;
     ends_[1] = &b;
+    a.set_medium_slot(0);
+    b.set_medium_slot(1);
     a.attach(this);
     b.attach(this);
+  }
+
+  void repoint(std::uint32_t slot, Interface* fresh) override {
+    ends_[slot] = fresh;
   }
 
   void transmit(Interface& from, Packet p) override;
@@ -313,6 +326,10 @@ class EthernetSegment : public Medium, public DeliverySink {
   }
 
   void transmit(Interface& from, Packet p) override;
+
+  void repoint(std::uint32_t slot, Interface* fresh) override {
+    ifaces_[slot] = fresh;
+  }
 
   const std::vector<Interface*>& interfaces() const { return ifaces_; }
 

@@ -41,13 +41,17 @@ class Network {
   }
 
   /// Creates a point-to-point link and connects fresh interfaces on a and b.
+  /// `prefix_len` sizes the connected route each end installs — generated
+  /// fabrics use /30 per link so per-link subnets never alias (the /24
+  /// default suits hand-built rigs where each link is its own subnet).
   PointToPointLink& link(Node& a, Ipv4Addr addr_a, Node& b, Ipv4Addr addr_b,
                          double bits_per_sec, SimTime delay = micros(100),
-                         std::uint64_t queue_bytes = 64 * 1024) {
+                         std::uint64_t queue_bytes = 64 * 1024,
+                         int prefix_len = 24) {
     auto l = std::make_unique<PointToPointLink>(
         events_, a.name() + "-" + b.name(), bits_per_sec, delay, queue_bytes);
-    Interface& ia = a.add_interface(addr_a);
-    Interface& ib = b.add_interface(addr_b);
+    Interface& ia = a.add_interface(addr_a, prefix_len);
+    Interface& ib = b.add_interface(addr_b, prefix_len);
     if (a.router()) ia.set_gateway(true);
     if (b.router()) ib.set_gateway(true);
     l->connect(ia, ib);

@@ -5,25 +5,39 @@
 namespace asp::net {
 
 void RoutingTable::add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop) {
-  routes_.push_back(Route{prefix, prefix_len, iface, next_hop});
+  // Stable insert keeping prefix_len descending: lookup's first match is the
+  // longest prefix, and first-added still wins among equal lengths.
+  auto it = std::find_if(routes_.begin(), routes_.end(),
+                         [&](const Route& r) { return r.prefix_len < prefix_len; });
+  routes_.insert(it, Route{prefix, prefix_len, iface, next_hop});
 }
 
 const Route* RoutingTable::lookup(Ipv4Addr dst) const {
-  const Route* best = nullptr;
   for (const Route& r : routes_) {
-    if (dst.in_prefix(r.prefix, r.prefix_len)) {
-      if (best == nullptr || r.prefix_len > best->prefix_len) best = &r;
-    }
+    if (dst.in_prefix(r.prefix, r.prefix_len)) return &r;  // sorted: first = best
   }
-  return best;
+  return nullptr;
 }
 
 UdpSocket::UdpSocket(Node& node, std::uint16_t port, Handler on_packet)
     : node_(node), port_(port), on_packet_(std::move(on_packet)) {
-  node_.udp_ports_[port_] = this;
+  auto it = std::lower_bound(
+      node_.udp_ports_.begin(), node_.udp_ports_.end(), port_,
+      [](const auto& entry, std::uint16_t p) { return entry.first < p; });
+  if (it != node_.udp_ports_.end() && it->first == port_) {
+    it->second = this;  // last binder wins, as with the old map
+  } else {
+    node_.udp_ports_.insert(it, {port_, this});
+  }
 }
 
-UdpSocket::~UdpSocket() { node_.udp_ports_.erase(port_); }
+UdpSocket::~UdpSocket() {
+  auto it = std::lower_bound(
+      node_.udp_ports_.begin(), node_.udp_ports_.end(), port_,
+      [](const auto& entry, std::uint16_t p) { return entry.first < p; });
+  if (it != node_.udp_ports_.end() && it->first == port_ && it->second == this)
+    node_.udp_ports_.erase(it);
+}
 
 void UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport,
                         std::vector<std::uint8_t> payload) {
@@ -34,8 +48,13 @@ void UdpSocket::send_to(Ipv4Addr dst, std::uint16_t dport,
 
 Node::Node(EventQueue& events, std::string name)
     : events_(&events), name_(std::move(name)), tcp_(std::make_unique<TcpStack>(*this)) {
+  ifaces_.reserve(2);  // hosts and leaf routers never relocate
   obs::MetricsRegistry& reg = obs::registry();
-  const std::string prefix = "node/" + name_ + "/net/";
+  // Coarse mode (scenario-scale topologies) folds every node into one shared
+  // aggregate instrument set — see obs::instance_metrics_enabled().
+  const std::string prefix = obs::instance_metrics_enabled()
+                                 ? "node/" + name_ + "/net/"
+                                 : "node/_agg/net/";
   m_rx_packets_ = &reg.counter(prefix + "rx_packets");
   m_rx_bytes_ = &reg.counter(prefix + "rx_bytes");
   m_tx_packets_ = &reg.counter(prefix + "tx_packets");
@@ -47,24 +66,68 @@ Node::Node(EventQueue& events, std::string name)
 Node::~Node() = default;
 
 Interface& Node::add_interface(Ipv4Addr addr, int prefix_len) {
-  ifaces_.push_back(std::make_unique<Interface>(this, static_cast<int>(ifaces_.size())));
-  ifaces_.back()->set_addr(addr);
+  if (ifaces_.size() == ifaces_.capacity()) {
+    // Relocation: media hold raw Interface* into this array, so after the
+    // grow every attached medium gets repointed at the fresh addresses.
+    ifaces_.reserve(std::max<std::size_t>(2, ifaces_.capacity() * 2));
+    for (Interface& ifc : ifaces_) {
+      if (ifc.medium() != nullptr) ifc.medium()->repoint(ifc.medium_slot(), &ifc);
+    }
+  }
+  ifaces_.emplace_back(this, static_cast<int>(ifaces_.size()));
+  Interface& added = ifaces_.back();
+  added.set_addr(addr);
   if (!addr.is_unspecified()) {
     std::uint32_t mask =
         prefix_len >= 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> prefix_len);
-    routes_.add(Ipv4Addr{addr.bits() & mask}, prefix_len, ifaces_.back()->index());
+    routes_.add(Ipv4Addr{addr.bits() & mask}, prefix_len, added.index());
   }
-  return *ifaces_.back();
+  return added;
+}
+
+void Node::reserve_ifaces(std::size_t n) {
+  if (n <= ifaces_.capacity()) return;
+  ifaces_.reserve(n);
+  for (Interface& ifc : ifaces_) {
+    if (ifc.medium() != nullptr) ifc.medium()->repoint(ifc.medium_slot(), &ifc);
+  }
+}
+
+void Node::add_mroute(Ipv4Addr group, std::vector<int> out_ifaces) {
+  auto it = std::lower_bound(
+      mroutes_.begin(), mroutes_.end(), group,
+      [](const MRoute& m, Ipv4Addr g) { return m.group < g; });
+  if (it != mroutes_.end() && it->group == group) {
+    it->out = std::move(out_ifaces);  // replace, as with the old map
+  } else {
+    mroutes_.insert(it, MRoute{group, std::move(out_ifaces)});
+  }
+}
+
+const std::vector<int>* Node::mroute_lookup(Ipv4Addr group) const {
+  auto it = std::lower_bound(
+      mroutes_.begin(), mroutes_.end(), group,
+      [](const MRoute& m, Ipv4Addr g) { return m.group < g; });
+  if (it != mroutes_.end() && it->group == group) return &it->out;
+  return nullptr;
+}
+
+UdpSocket* Node::udp_lookup(std::uint16_t port) const {
+  auto it = std::lower_bound(
+      udp_ports_.begin(), udp_ports_.end(), port,
+      [](const auto& entry, std::uint16_t p) { return entry.first < p; });
+  if (it != udp_ports_.end() && it->first == port) return it->second;
+  return nullptr;
 }
 
 bool Node::owns(Ipv4Addr a) const {
-  for (const auto& i : ifaces_) {
-    if (i->addr() == a) return true;
+  for (const Interface& i : ifaces_) {
+    if (i.addr() == a) return true;
   }
   return false;
 }
 
-Ipv4Addr Node::addr() const { return ifaces_.empty() ? Ipv4Addr{} : ifaces_[0]->addr(); }
+Ipv4Addr Node::addr() const { return ifaces_.empty() ? Ipv4Addr{} : ifaces_[0].addr(); }
 
 void Node::note_rx(const Packet& p, Interface& in) {
   ++rx_packets_;
@@ -95,9 +158,9 @@ void Node::standard_ip(Packet p, Interface& in) {
   if (p.ip.dst.is_multicast()) {
     if (in_group(p.ip.dst)) deliver_local(p);
     if (router_) {
-      auto it = mroutes_.find(p.ip.dst);
-      if (it != mroutes_.end() && p.ip.ttl > 1) {
-        for (int out : it->second) {
+      const std::vector<int>* outs = mroute_lookup(p.ip.dst);
+      if (outs != nullptr && p.ip.ttl > 1) {
+        for (int out : *outs) {
           if (out == in.index()) continue;
           Packet copy = p;
           --copy.ip.ttl;
@@ -127,10 +190,9 @@ void Node::standard_ip(Packet p, Interface& in) {
 
 void Node::forward(Packet p) {
   if (p.ip.dst.is_multicast()) {
-    auto it = mroutes_.find(p.ip.dst);
+    const std::vector<int>* found = mroute_lookup(p.ip.dst);
     static const std::vector<int> kDefaultOut{0};
-    const std::vector<int>& outs =
-        it != mroutes_.end() ? it->second : kDefaultOut;  // hosts: iface 0
+    const std::vector<int>& outs = found != nullptr ? *found : kDefaultOut;  // hosts: iface 0
     if (ifaces_.empty()) {
       ++dropped_no_route_;
       m_dropped_->inc();
@@ -170,9 +232,8 @@ void Node::deliver_local(Packet p) {
   ++delivered_packets_;
   m_delivered_->inc();
   if (p.ip.proto == IpProto::kUdp && p.udp) {
-    auto it = udp_ports_.find(p.udp->dport);
-    if (it != udp_ports_.end()) {
-      it->second->handle(p);
+    if (UdpSocket* sock = udp_lookup(p.udp->dport)) {
+      sock->handle(p);
       return;
     }
     ++dropped_no_listener_;

@@ -1,13 +1,12 @@
 // Nodes: hosts and routers with an IP stack that PLAN-P programs can replace.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/event.hpp"
@@ -29,17 +28,24 @@ struct Route {
   Ipv4Addr next_hop;
 };
 
-/// Longest-prefix-match routing table.
+/// Longest-prefix-match routing table. Routes live in one contiguous vector
+/// kept sorted by prefix length (longest first, stable within a length), so
+/// lookup is a forward scan that can stop at the FIRST match — the
+/// longest-prefix winner by construction. Same match semantics as the old
+/// best-so-far scan (first-added wins among equal-length matches), but the
+/// common case on generated topologies (a /30 or /24 hit near the front)
+/// touches a fraction of the table.
 class RoutingTable {
  public:
   void add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop = {});
   void add_default(int iface, Ipv4Addr next_hop = {}) { add({}, 0, iface, next_hop); }
   /// Returns the best route for `dst` or nullptr.
   const Route* lookup(Ipv4Addr dst) const;
+  /// Routes in lookup order (longest prefix first), not insertion order.
   const std::vector<Route>& routes() const { return routes_; }
 
  private:
-  std::vector<Route> routes_;
+  std::vector<Route> routes_;  // sorted: prefix_len descending, stable
 };
 
 /// An unreliable datagram socket bound to a UDP port on a node.
@@ -107,8 +113,21 @@ class Node {
 
   /// Adds an interface with the given IP address; returns it. A connected
   /// route for the interface subnet (default /24) is installed automatically.
+  ///
+  /// Interfaces live in contiguous per-node storage (cache-compact: the whole
+  /// receive/forward path indexes a flat array instead of chasing a deque of
+  /// unique_ptrs). Growing the array can relocate the objects: attached media
+  /// are repointed automatically (Medium::repoint), but a raw Interface& held
+  /// by CALLER code is invalidated by a later add_interface on the SAME node —
+  /// re-fetch via iface(i), or reserve_ifaces() the final count up front.
   Interface& add_interface(Ipv4Addr addr, int prefix_len = 24);
-  Interface& iface(int i) { return *ifaces_.at(i); }
+  /// Pre-sizes the interface array (topology generators know node degrees),
+  /// guaranteeing no relocation for the next `n - iface_count()` adds.
+  void reserve_ifaces(std::size_t n);
+  Interface& iface(int i) { return ifaces_.at(static_cast<std::size_t>(i)); }
+  const Interface& iface(int i) const {
+    return ifaces_.at(static_cast<std::size_t>(i));
+  }
   std::size_t iface_count() const { return ifaces_.size(); }
 
   /// True if `a` is one of this node's interface addresses.
@@ -120,16 +139,24 @@ class Node {
   bool router() const { return router_; }
 
   RoutingTable& routes() { return routes_; }
+  const RoutingTable& routes() const { return routes_; }
 
-  /// IGMP-lite: join/leave a multicast group (hosts).
-  void join_group(Ipv4Addr group) { groups_.insert(group); }
-  void leave_group(Ipv4Addr group) { groups_.erase(group); }
-  bool in_group(Ipv4Addr group) const { return groups_.count(group) > 0; }
+  /// IGMP-lite: join/leave a multicast group (hosts). Flat sorted storage —
+  /// membership checks are a binary search over contiguous addresses.
+  void join_group(Ipv4Addr group) {
+    auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+    if (it == groups_.end() || *it != group) groups_.insert(it, group);
+  }
+  void leave_group(Ipv4Addr group) {
+    auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+    if (it != groups_.end() && *it == group) groups_.erase(it);
+  }
+  bool in_group(Ipv4Addr group) const {
+    return std::binary_search(groups_.begin(), groups_.end(), group);
+  }
 
   /// Multicast route: packets to `group` are forwarded out of `ifaces`.
-  void add_mroute(Ipv4Addr group, std::vector<int> out_ifaces) {
-    mroutes_[group] = std::move(out_ifaces);
-  }
+  void add_mroute(Ipv4Addr group, std::vector<int> out_ifaces);
 
   /// Installs/clears the PLAN-P intercept for packets entering the IP layer.
   /// Redefines the whole packet path: any batch hook is cleared, because a
@@ -216,18 +243,29 @@ class Node {
  private:
   friend class UdpSocket;
 
+  /// One multicast forwarding entry (sorted by group in mroutes_).
+  struct MRoute {
+    Ipv4Addr group;
+    std::vector<int> out;
+  };
+  const std::vector<int>* mroute_lookup(Ipv4Addr group) const;
+  UdpSocket* udp_lookup(std::uint16_t port) const;
+
   EventQueue* events_;  // owning shard's queue (rebindable, never null)
   std::string name_;
   std::uint32_t topo_index_ = 0;
-  std::deque<std::unique_ptr<Interface>> ifaces_;
+  // Flat per-node state (DESIGN.md §6g): interfaces by value in one
+  // contiguous array; groups/mroutes/udp ports as sorted vectors instead of
+  // node-per-entry trees. A 10^4-node topology walks these on every packet.
+  std::vector<Interface> ifaces_;
   bool router_ = false;
   RoutingTable routes_;
-  std::set<Ipv4Addr> groups_;
-  std::map<Ipv4Addr, std::vector<int>> mroutes_;
+  std::vector<Ipv4Addr> groups_;  // sorted
+  std::vector<MRoute> mroutes_;   // sorted by group
   IpHook ip_hook_;
   IpBatchHook ip_batch_hook_;
   std::vector<RxTap> rx_taps_;
-  std::map<std::uint16_t, UdpSocket*> udp_ports_;
+  std::vector<std::pair<std::uint16_t, UdpSocket*>> udp_ports_;  // sorted by port
   std::unique_ptr<TcpStack> tcp_;
 
   // Cached instruments in the global registry (node/<name>/net/...). The

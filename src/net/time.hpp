@@ -22,8 +22,16 @@ constexpr SimTime micros(double us) { return static_cast<SimTime>(us * 1e3); }
 constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
 
 /// Transmission time of `bytes` over a link of `bits_per_sec` capacity.
+/// Rounded UP to whole nanoseconds, never below 1 ns for a nonempty frame:
+/// truncation gave 0 ns for small frames on fast links (e.g. 64 B at 1 Tb/s),
+/// which let 10^5 aggregated flows pile events onto one timestamp — event
+/// storms, zero-width serialization and meaningless meter rates.
 constexpr SimTime tx_time(std::uint64_t bytes, double bits_per_sec) {
-  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bits_per_sec * 1e9);
+  if (bytes == 0) return 0;
+  const double ns = static_cast<double>(bytes) * 8.0 / bits_per_sec * 1e9;
+  SimTime t = static_cast<SimTime>(ns);
+  if (static_cast<double>(t) < ns) ++t;  // ceil for fractional results
+  return t < 1 ? 1 : t;
 }
 
 }  // namespace asp::net

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -75,6 +76,20 @@ double Histogram::quantile(double q) const {
 MetricsRegistry& registry() {
   static MetricsRegistry reg;
   return reg;
+}
+
+namespace {
+// Setup-time flag (topologies are built single-threaded); atomic so a stray
+// read from a worker is still defined.
+std::atomic<bool> g_instance_metrics{true};
+}  // namespace
+
+bool instance_metrics_enabled() {
+  return g_instance_metrics.load(std::memory_order_relaxed);
+}
+
+void set_instance_metrics_enabled(bool on) {
+  g_instance_metrics.store(on, std::memory_order_relaxed);
 }
 
 void MetricsRegistry::reset() {

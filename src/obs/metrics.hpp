@@ -159,6 +159,33 @@ class MetricsRegistry {
 /// The process-wide default registry every layer reports into.
 MetricsRegistry& registry();
 
+/// Per-instance instrument mode. When ON (the default) every Node/Medium
+/// registers its own node/<name>/... and medium/<name>/... instruments. The
+/// scenario generators (src/scenario) turn it OFF around construction of
+/// internet-scale topologies: 10^4 nodes x ~14 instruments would put ~10^5
+/// entries in the registry and megabytes in every BENCH_*.json, so instead
+/// all instances constructed while the mode is off share one aggregate set
+/// (node/_agg/net/*, medium/_agg/*). Aggregate counters stay deterministic
+/// under the sharded executor (atomic adds commute); per-instance statistics
+/// remain available on the objects themselves. Setup-time only: flip it
+/// before constructing a topology, never while a simulation runs.
+bool instance_metrics_enabled();
+void set_instance_metrics_enabled(bool on);
+
+/// RAII guard: turns per-instance instruments off for a construction scope.
+class ScopedCoarseMetrics {
+ public:
+  ScopedCoarseMetrics() : prev_(instance_metrics_enabled()) {
+    set_instance_metrics_enabled(false);
+  }
+  ~ScopedCoarseMetrics() { set_instance_metrics_enabled(prev_); }
+  ScopedCoarseMetrics(const ScopedCoarseMetrics&) = delete;
+  ScopedCoarseMetrics& operator=(const ScopedCoarseMetrics&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Serializes a registry as deterministic (name-sorted) JSON:
 ///   {"counters": {...}, "gauges": {...},
 ///    "histograms": {"<name>": {"count": .., "sum": .., "min": .., "max": ..,

@@ -1,0 +1,141 @@
+#include "scenario/scenario.hpp"
+
+#include "net/exec.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/engine.hpp"
+
+namespace asp::scenario {
+
+namespace {
+
+/// The transit-tier monitor: a counting forwarder in PLAN-P (the paper's
+/// minimal "active" router program). Untagged traffic classifies onto the
+/// distinguished `network` channel, so every packet crossing a monitored
+/// router is counted in ps and forwarded unchanged by OnRemote.
+const char* monitor_asp() {
+  return R"(
+-- scenario transit monitor: count and forward
+channel network(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(network, p); (ps + 1, ss))
+)";
+}
+
+void add_impairments(net::Medium* m, const ImpairmentConfig& c,
+                     std::uint64_t salt) {
+  net::Impairments imp;
+  imp.loss_rate = c.loss_rate;
+  imp.corrupt_rate = c.corrupt_rate;
+  imp.duplicate_rate = c.duplicate_rate;
+  imp.jitter = c.jitter;
+  // Per-medium stream: same config everywhere, decorrelated draws.
+  imp.seed = c.seed ^ (0x9E3779B97F4A7C15ull * (salt + 1));
+  m->set_impairments(imp);
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v, bool last = false) {
+  out += "  \"";
+  out += key;
+  out += "\": ";
+  out += std::to_string(v);
+  out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
+  // Coarse metrics: one aggregate instrument set instead of ~14 per
+  // node/medium — see obs::instance_metrics_enabled().
+  obs::ScopedCoarseMetrics coarse;
+  topo_ = build_topology(net_, cfg_.topology);
+  workload_ = std::make_unique<Workload>(topo_.hosts, cfg_.workload);
+  if (cfg_.asp_monitors == "core") {
+    for (net::Node* r : topo_.top_routers) {
+      auto rt = std::make_unique<runtime::AspRuntime>(*r);
+      rt->install(monitor_asp());
+      monitors_.push_back(std::move(rt));
+    }
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::apply_impairments() {
+  const ImpairmentConfig& c = cfg_.impairments;
+  if (!c.any()) return;
+  std::uint64_t salt = 0;
+  if (c.scope == "access" || c.scope == "all") {
+    for (net::Medium* m : topo_.access_media) add_impairments(m, c, salt++);
+  }
+  if (c.scope == "fabric" || c.scope == "all") {
+    for (net::Medium* m : topo_.fabric_media) add_impairments(m, c, salt++);
+  }
+}
+
+ScenarioMetrics Scenario::run(int shards) {
+  if (shards <= 0) shards = cfg_.run.shards;
+  // Impairments BEFORE the executor: the partitioner must see them (an
+  // impaired link is not cuttable — its RNG draws have to stay serial).
+  apply_impairments();
+
+  std::unique_ptr<net::ParallelExecutor> exec;
+  if (shards > 1) exec = std::make_unique<net::ParallelExecutor>(net_, shards);
+  // Workload timers go onto the (possibly rebound) per-shard queues, so
+  // start() must come after the executor is attached.
+  workload_->start();
+  net_.run_until(cfg_.run.duration);
+
+  ScenarioMetrics m;
+  m.name = cfg_.name;
+  m.topo_digest = topology_digest(net_);
+  m.nodes = net_.nodes().size();
+  m.hosts = topo_.hosts.size();
+  m.routers = topo_.routers.size();
+  m.media = net_.media().size();
+  m.sim_time = net_.now();
+  m.workload = workload_->stats();
+  for (const auto& med : net_.media()) {
+    m.delivered_packets += med->delivered_packets();
+    m.delivered_bytes += med->delivered_bytes();
+    m.dropped_queue += med->dropped_queue();
+    m.dropped_loss += med->dropped_loss();
+    m.dropped_down += med->dropped_down();
+    m.dropped_unaddressed += med->dropped_unaddressed();
+  }
+  for (const auto& rt : monitors_) {
+    runtime::RuntimeStats s = rt->stats();
+    m.asp_handled += s.packets_handled;
+    m.asp_sent += s.packets_sent;
+  }
+  m.shards = exec ? exec->shard_count() : 1;
+  m.islands = exec ? exec->island_count() : 0;
+  return m;
+}
+
+std::string ScenarioMetrics::to_json() const {
+  std::string out = "{\n";
+  out += "  \"scenario\": \"" + name + "\",\n";
+  append_kv(out, "topo_digest", topo_digest);
+  append_kv(out, "nodes", nodes);
+  append_kv(out, "hosts", hosts);
+  append_kv(out, "routers", routers);
+  append_kv(out, "media", media);
+  append_kv(out, "sim_time_ns", sim_time);
+  append_kv(out, "requests", workload.requests);
+  append_kv(out, "completed", workload.completed);
+  append_kv(out, "timeouts", workload.timeouts);
+  append_kv(out, "frames_rx", workload.frames_rx);
+  append_kv(out, "latency_sum_ns", workload.latency_sum_ns);
+  append_kv(out, "latency_max_ns", workload.latency_max_ns);
+  append_kv(out, "delivered_packets", delivered_packets);
+  append_kv(out, "delivered_bytes", delivered_bytes);
+  append_kv(out, "dropped_queue", dropped_queue);
+  append_kv(out, "dropped_loss", dropped_loss);
+  append_kv(out, "dropped_down", dropped_down);
+  append_kv(out, "dropped_unaddressed", dropped_unaddressed);
+  append_kv(out, "asp_handled", asp_handled);
+  append_kv(out, "asp_sent", asp_sent, /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace asp::scenario

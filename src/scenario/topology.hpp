@@ -1,0 +1,101 @@
+// Internet-scale topology generators (DESIGN.md §6g).
+//
+// The paper's experiments run on hand-built 3..10-node rigs; scaling the
+// claims to "an internet" needs topologies with 10^4 nodes and enough
+// structural regularity that routing stays table-driven and small. Three
+// generator families, all deterministic in (seed, parameters):
+//
+//   fat_tree      k-ary data-center fabric: k pods of k/2 edge + k/2 agg
+//                 switches, (k/2)^2 cores, hosts_per_edge hosts per edge
+//                 switch. k=34, hosts_per_edge=17 gives 9826 hosts and 1445
+//                 switches (the checked-in fat_tree_10k.scn).
+//   as_hierarchy  a 3-tier AS graph: a full-mesh tier-1 backbone, tier-2
+//                 transit ASes multihomed to the backbone, stub ASes with
+//                 host LANs hanging off tier-2. Peering choices draw from a
+//                 seeded xorshift stream.
+//   metro_access  a metro/access tree: one core, `metros` metro routers,
+//                 `aggs_per_metro` aggregation routers each serving
+//                 shared-Ethernet LANs (exercises EthernetSegment islands).
+//
+// Addressing is arithmetic, not allocated: fat-tree host links are
+// 10.pod.edge.(4h+1)/30, fabric links come sequentially out of
+// 172.16.0.0/12, so the same parameters always produce byte-identical
+// address plans. Routing tables are the generator's responsibility and stay
+// small (longest table: a fat-tree core with k /16s plus its connected
+// /30s).
+//
+// Every generator leaves the partitioner free to cut: inter-router links are
+// point-to-point with nonzero delay, so a 10^4-node fabric decomposes into
+// thousands of islands (ParallelExecutor merges them into shards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace asp::scenario {
+
+/// Parameters for every generator family; each kind reads its own fields
+/// (defaults give a small but valid instance of each).
+struct TopologyParams {
+  std::string kind = "fat_tree";  // fat_tree | as_hierarchy | metro_access
+
+  // Link properties (shared by all kinds).
+  double host_bps = 100e6;   // host access links
+  double edge_bps = 1e9;     // first aggregation tier
+  double agg_bps = 10e9;     // second aggregation tier
+  double core_bps = 40e9;    // backbone
+  net::SimTime access_delay = net::micros(10);
+  net::SimTime fabric_delay = net::micros(25);
+
+  // fat_tree: k even, >= 2.
+  int k = 4;
+  int hosts_per_edge = 2;
+
+  // as_hierarchy.
+  int t1_count = 3;        // tier-1 backbone routers (full mesh)
+  int t2_per_t1 = 2;       // transit ASes homed under each tier-1
+  int stubs_per_t2 = 2;    // stub ASes per transit
+  int hosts_per_stub = 4;  // hosts per stub LAN
+  std::uint64_t seed = 1;  // drives tier-2 peering choices
+
+  // metro_access.
+  int metros = 2;
+  int aggs_per_metro = 2;
+  int lans_per_agg = 2;
+  int hosts_per_lan = 4;
+};
+
+/// What a generator hands back: flat host/router lists in creation order
+/// (the canonical order every downstream consumer iterates in) plus counts
+/// for reporting. Pointers index into the Network's node storage and stay
+/// valid for the Network's lifetime.
+struct BuiltTopology {
+  std::vector<net::Node*> hosts;
+  std::vector<net::Node*> routers;
+  /// The transit tier ASP monitors install on (fat_tree: cores,
+  /// as_hierarchy: tier-1 backbone, metro_access: the core router).
+  std::vector<net::Node*> top_routers;
+  /// Media created by the generator, tagged by role for impairment scoping:
+  /// access media touch a host, fabric media are router-router.
+  std::vector<net::Medium*> access_media;
+  std::vector<net::Medium*> fabric_media;
+
+  std::size_t node_count() const { return hosts.size() + routers.size(); }
+};
+
+/// Builds the topology described by `p.kind` into `net` (which must be
+/// empty). Throws std::invalid_argument on bad parameters (odd k, counts
+/// that overflow the addressing plan, unknown kind).
+BuiltTopology build_topology(net::Network& net, const TopologyParams& p);
+
+/// Structural digest of a built network: FNV-1a over every node (name,
+/// router flag, interface addresses, full routing table) and every medium
+/// (name, bandwidth, delay). Two generator runs with equal parameters are
+/// byte-identical iff their digests and node/media counts agree — the
+/// determinism tests and the bench's serial-vs-sharded gate both key on it.
+std::uint64_t topology_digest(const net::Network& net);
+
+}  // namespace asp::scenario
