@@ -53,6 +53,8 @@ std::mutex& stats_list_mu() {
 
 obs::RelaxedU64 g_heap_captures;
 obs::RelaxedU64 g_heap_capture_bytes;
+obs::RelaxedU64 g_event_slab_chunks;
+obs::RelaxedU64 g_event_slab_bytes;
 }  // namespace
 
 void register_pool_stats(const std::string& name, const PoolStats* stats) {
@@ -79,6 +81,10 @@ void publish_metrics() {
   reg.gauge("mem/event/heap_captures").set(static_cast<double>(g_heap_captures.load()));
   reg.gauge("mem/event/heap_capture_bytes")
       .set(static_cast<double>(g_heap_capture_bytes.load()));
+  reg.gauge("mem/event/slab_chunks")
+      .set(static_cast<double>(g_event_slab_chunks.load()));
+  reg.gauge("mem/event/slab_bytes")
+      .set(static_cast<double>(g_event_slab_bytes.load()));
 }
 
 PoolTotals total_pool_stats() {
@@ -102,6 +108,13 @@ void note_heap_capture(std::size_t bytes) {
 }
 
 std::uint64_t heap_capture_count() { return g_heap_captures.load(); }
+
+void note_event_slab_chunk(std::size_t bytes) {
+  ++g_event_slab_chunks;
+  g_event_slab_bytes += bytes;
+}
+
+std::uint64_t event_slab_chunk_count() { return g_event_slab_chunks.load(); }
 
 // --- slab pool ----------------------------------------------------------------
 

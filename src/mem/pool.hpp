@@ -183,6 +183,13 @@ PoolTotals total_pool_stats();
 void note_heap_capture(std::size_t bytes);
 std::uint64_t heap_capture_count();
 
+/// Event-queue slab growth: one chunk of pooled calendar-queue entries
+/// (net/event.cpp). Process-wide (queues are shard-confined but short-lived
+/// in tests, so per-queue PoolStats registration would dangle); published as
+/// mem/event/slab_chunks / slab_bytes.
+void note_event_slab_chunk(std::size_t bytes);
+std::uint64_t event_slab_chunk_count();
+
 // --- remote-free channels -----------------------------------------------------
 
 /// Lock-free MPSC stack of raw blocks: any thread pushes (Treiber CAS, the

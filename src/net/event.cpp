@@ -1,6 +1,11 @@
 #include "net/event.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
+
+#include "mem/pool.hpp"
 
 namespace asp::net {
 
@@ -17,7 +22,42 @@ std::size_t clamp_batch_limit(std::size_t n) {
   return n;
 }
 
+std::atomic<unsigned>& default_wlog_slot() {
+  static std::atomic<unsigned> w{10};  // 1.024 µs level-0 buckets
+  return w;
+}
+
+unsigned clamp_wlog(unsigned w) {
+  if (w < 4) return 4;
+  if (w > 20) return 20;
+  return w;
+}
+
+/// Circular occupancy scan: first set bit among the 256 ring positions
+/// starting at `from` (inclusive), in circular order, or -1 if none. The
+/// caller's placement window is at most 256 buckets wide, so circular order
+/// from just-past-the-cursor IS ascending bucket-number order.
+int scan_ring(const std::uint64_t* occ, unsigned from) {
+  for (unsigned step = 0; step < 5; ++step) {
+    const unsigned w = ((from >> 6) + step) & 3;
+    std::uint64_t bits = occ[w];
+    if (step == 0) {
+      bits &= ~std::uint64_t{0} << (from & 63);
+    } else if (step == 4) {
+      const unsigned r = from & 63;
+      bits &= r ? (std::uint64_t{1} << r) - 1 : 0;
+    }
+    if (bits != 0) return static_cast<int>(w * 64 + std::countr_zero(bits));
+  }
+  return -1;
+}
+
 }  // namespace
+
+EventQueue::EventQueue()
+    : batch_limit_(default_batch_limit()), wlog_(default_bucket_width_log2()) {}
+
+EventQueue::~EventQueue() = default;
 
 void EventQueue::set_batch_limit(std::size_t n) { batch_limit_ = clamp_batch_limit(n); }
 
@@ -29,79 +69,343 @@ std::size_t EventQueue::default_batch_limit() {
   return default_batch_limit_slot().load(std::memory_order_relaxed);
 }
 
+void EventQueue::set_bucket_width_log2(unsigned w) {
+  assert(occupied_ == 0 && "bucket width can only change on an empty queue");
+  if (occupied_ != 0) return;
+  wlog_ = clamp_wlog(w);
+  // No entry is referenced anywhere (occupied_ == 0 means every slot was
+  // reclaimed, and a slot is only reclaimed when its key leaves its
+  // container), so re-basing the cursor is safe.
+  cur_b_ = now_ >> wlog_;
+  sorted_.clear();
+  spos_ = 0;
+  far_min_ = kNever;
+}
+
+void EventQueue::set_default_bucket_width_log2(unsigned w) {
+  default_wlog_slot().store(clamp_wlog(w), std::memory_order_relaxed);
+}
+
+unsigned EventQueue::default_bucket_width_log2() {
+  return default_wlog_slot().load(std::memory_order_relaxed);
+}
+
+// --- slab ---------------------------------------------------------------------
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ == UINT32_MAX) {
+    // Grow by one chunk, attributed to the event subsystem like every pool
+    // refill (bench_fastpath / bench_event difference the counter around
+    // their measured loops; steady state allocates nothing).
+    mem::ScopedAllocTag tag(mem::AllocTag::kEvent);
+    chunks_.push_back(std::make_unique<Entry[]>(kChunkSlots));
+    mem::note_event_slab_chunk(kChunkSlots * sizeof(Entry));
+    const std::uint32_t base =
+        static_cast<std::uint32_t>((chunks_.size() - 1) * kChunkSlots);
+    // Thread the freelist so slots pop in ascending order.
+    for (std::size_t i = kChunkSlots; i-- > 0;) {
+      Entry& e = chunks_.back()[i];
+      e.next_free = free_head_;
+      free_head_ = base + static_cast<std::uint32_t>(i);
+    }
+  }
+  const std::uint32_t slot = free_head_;
+  free_head_ = slab(slot).next_free;
+  ++occupied_;
+  return slot;
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Entry& e = slab(slot);
+  e.state = kFree;
+  if (++e.gen == 0) e.gen = 1;  // gen 0 is reserved for "never a valid id"
+  e.next_free = free_head_;
+  free_head_ = slot;
+  --occupied_;
+}
+
+// --- scheduling ---------------------------------------------------------------
+
 EventId EventQueue::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  EventId id = next_id_++;
-  queue_.push(Entry{t < now_ ? now_ : t, now_, UINT32_MAX, id, std::move(fn)});
-  return id;
+  if (t < now_) t = now_;
+  const std::uint32_t slot = alloc_slot();
+  Entry& e = slab(slot);
+  e.fn = std::move(fn);
+  e.sink = nullptr;
+  e.state = kLive;
+  ++pending_;
+  place(Key{t, now_, seq_++, UINT32_MAX, slot});
+  return (static_cast<EventId>(e.gen) << 32) | slot;
 }
 
 EventId EventQueue::schedule_ranked(SimTime t, SimTime sched, std::uint32_t rank,
                                     EventFn fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  EventId id = next_id_++;
-  queue_.push(Entry{t, sched, rank, id, std::move(fn)});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Entry& e = slab(slot);
+  e.fn = std::move(fn);
+  e.sink = nullptr;
+  e.state = kLive;
+  ++pending_;
+  place(Key{t, sched, seq_++, rank, slot});
+  return (static_cast<EventId>(e.gen) << 32) | slot;
 }
 
 EventId EventQueue::schedule_delivery(SimTime t, SimTime sched, std::uint32_t rank,
                                       DeliverySink& sink, std::uint32_t key,
                                       PacketBatch::Box box) {
   assert(t >= now_ && "cannot schedule in the past");
-  EventId id = next_id_++;
-  queue_.push(Entry{t, sched, rank, id, EventFn{}, &sink, key, std::move(box)});
-  return id;
+  const std::uint32_t slot = alloc_slot();
+  Entry& e = slab(slot);
+  e.sink = &sink;
+  e.key = key;
+  e.box = std::move(box);
+  e.state = kLive;
+  ++pending_;
+  place(Key{t, sched, seq_++, rank, slot});
+  return (static_cast<EventId>(e.gen) << 32) | slot;
 }
 
-std::uint64_t EventQueue::pop_some(std::uint64_t max_events) {
-  while (!queue_.empty()) {
-    // Entries are move-only (SmallFn); top() is const&, but popping
-    // immediately after makes the move-out safe — the moved-from entry never
-    // participates in another heap comparison.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+void EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0) return;  // 0 (and any pre-handle id) was never issued
+  if ((slot >> kBucketBits) >= chunks_.size()) return;
+  Entry& e = slab(slot);
+  if (e.gen != gen || e.state != kLive) return;  // already ran, or slot reused
+  // Mark dead and destroy the payload eagerly (captures release now); the
+  // slot itself is reclaimed when its bucket drains past the key, so no
+  // bucket ever references a reused slot.
+  e.state = kDead;
+  e.fn = EventFn{};
+  e.box.reset();
+  e.sink = nullptr;
+  --pending_;
+}
+
+// --- calendar -----------------------------------------------------------------
+
+// Routes a key to its home: the incursion heap when it lands at or behind
+// the drain cursor (a handler scheduling into the bucket being drained, or a
+// run_until() peek having moved the cursor past now_), else the finest wheel
+// level whose 256-bucket window reaches it, else the far band.
+void EventQueue::place(const Key& k) {
+  const std::uint64_t b0 = k.time >> wlog_;
+  if (b0 <= cur_b_) {
+    incur_.push_back(k);
+    std::push_heap(incur_.begin(), incur_.end(),
+                   [](const Key& a, const Key& b) { return key_less(b, a); });
+    return;
+  }
+  for (unsigned L = 0; L < kLevels; ++L) {
+    const std::uint64_t bL = k.time >> (wlog_ + kBucketBits * L);
+    const std::uint64_t curL = cur_b_ >> (kBucketBits * L);
+    if (bL - curL <= kBuckets) {
+      // All occupied cells at level L hold bucket numbers in
+      // (curL, curL + 256] — 256 consecutive values with unique residues —
+      // so the cell either is empty or already holds exactly this bucket.
+      const unsigned idx = static_cast<unsigned>(bL & (kBuckets - 1));
+      Cell& c = cells_[L][idx];
+      const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+      if ((occ_[L][idx >> 6] & bit) == 0) {
+        occ_[L][idx >> 6] |= bit;
+        c.num = bL;
+        const std::size_t want = std::bit_ceil(bucket_hiwat_);
+        if (c.keys.capacity() < want) {
+          // Bring every cell up to the largest bucket seen so far (rounded
+          // to a power of two, so high-water creep within a band is free).
+          // The seal step swaps key vectors between cells and sorted_,
+          // which circulates capacities around the ring — without this, a
+          // cell that periodically hosts an outsized bucket keeps re-growing
+          // whatever small vector migrated in, and steady state never
+          // reaches 0 allocs/event.
+          mem::ScopedAllocTag tag(mem::AllocTag::kEvent);
+          c.keys.reserve(want);
+        }
+      }
+      assert(c.num == bL && "wheel cell residue collision");
+      c.keys.push_back(k);
+      return;
+    }
+  }
+  far_.push_back(k);
+  if (k.time < far_min_) far_min_ = k.time;
+}
+
+// Moves the drain cursor to the next occupied bucket: seals the nearest
+// level-0 bucket (sorting it canonically) after cascading any upper-level
+// bucket or far-band prefix that starts at or before it. Tie order — far
+// band, then coarser levels first — guarantees no entry that belongs inside
+// a sealed range is still parked somewhere coarser. Returns false when the
+// calendar holds nothing (the incursion heap may still).
+bool EventQueue::advance() {
+  for (;;) {
+    SimTime best_start = kNever;
+    int best_level = -1;  // -1 none; kLevels means "refill from far band"
+    unsigned best_idx = 0;
+    for (unsigned L = 0; L < kLevels; ++L) {
+      const std::uint64_t curL = cur_b_ >> (kBucketBits * L);
+      const int idx =
+          scan_ring(occ_[L], static_cast<unsigned>((curL + 1) & (kBuckets - 1)));
+      if (idx < 0) continue;
+      const SimTime start = cells_[L][idx].num << (wlog_ + kBucketBits * L);
+      if (start <= best_start) {  // ties: prefer coarser
+        best_start = start;
+        best_level = static_cast<int>(L);
+        best_idx = static_cast<unsigned>(idx);
+      }
+    }
+    if (far_min_ != kNever) {
+      const SimTime fstart = (far_min_ >> wlog_) << wlog_;
+      if (fstart <= best_start) best_level = static_cast<int>(kLevels);
+    }
+    if (best_level < 0) return false;
+
+    if (best_level == static_cast<int>(kLevels)) {
+      // Refill: stand just before the band minimum's bucket and pull in
+      // everything the wheel horizon now covers (lazily partitioned — the
+      // remainder is rescanned at the next refill).
+      cur_b_ = (far_min_ >> wlog_) - 1;
+      SimTime new_min = kNever;
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < far_.size(); ++i) {
+        const Key k = far_[i];
+        const std::uint64_t b3 = k.time >> (wlog_ + kBucketBits * (kLevels - 1));
+        const std::uint64_t cur3 = cur_b_ >> (kBucketBits * (kLevels - 1));
+        if (b3 - cur3 <= kBuckets) {
+          place(k);
+        } else {
+          if (k.time < new_min) new_min = k.time;
+          far_[w++] = k;
+        }
+      }
+      far_.resize(w);
+      far_min_ = new_min;
       continue;
     }
-    now_ = e.time;
-    if (e.sink == nullptr) {
-      e.fn();
-      return 1;
-    }
 
-    // Batch drain. Safety rule (DESIGN.md §6c): an entry may join the batch
-    // only if it has the same (sink, key), the same timestamp, AND a schedule
-    // clock strictly before that timestamp. Anything a handler schedules
-    // while the batch runs carries sched == time (now_ == e.time), which
-    // sorts at-or-after every remaining member under the canonical
-    // comparator — so nothing that serial execution would have interleaved
-    // between two members can exist. Draining them together is therefore a
-    // pure reordering of *pop* operations, not of *execution* order.
-    PacketBatch batch;
-    batch.push(std::move(e.box));
-    std::uint64_t want = batch_limit_ < max_events ? batch_limit_ : max_events;
-    while (batch.size() < want && !queue_.empty()) {
-      const Entry& top = queue_.top();
-      if (top.sink != e.sink || top.key != e.key || top.time != e.time ||
-          top.sched >= e.time) {
-        break;
-      }
-      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-        // Media never cancel deliveries (net/batch.hpp contract), but stay
-        // robust: discard it exactly as the per-event path would have.
-        cancelled_.erase(it);
-        queue_.pop();
-        continue;
-      }
-      batch.push(std::move(const_cast<Entry&>(top).box));
-      queue_.pop();
+    const unsigned L = static_cast<unsigned>(best_level);
+    Cell& c = cells_[L][best_idx];
+    occ_[L][best_idx >> 6] &= ~(std::uint64_t{1} << (best_idx & 63));
+    if (L == 0) {
+      cur_b_ = c.num;
+      sorted_.clear();
+      spos_ = 0;
+      std::swap(sorted_, c.keys);  // capacities recycle between cell and seal
+      if (sorted_.size() > bucket_hiwat_) bucket_hiwat_ = sorted_.size();
+      std::sort(sorted_.begin(), sorted_.end(),
+                [](const Key& a, const Key& b) { return key_less(a, b); });
+      return true;
     }
-    std::uint64_t n = batch.size();
-    e.sink->deliver_batch(e.key, std::move(batch));
-    return n;
+    // Cascade: every key in the coarse bucket lands strictly after the new
+    // cursor and within the next-finer window, so this terminates.
+    cur_b_ = (c.num << (kBucketBits * L)) - 1;
+    cascade_.clear();
+    std::swap(cascade_, c.keys);
+    for (const Key& k : cascade_) place(k);
+    cascade_.clear();
   }
-  return 0;
+}
+
+void EventQueue::prune_dead_heads() {
+  while (spos_ < sorted_.size() && slab(sorted_[spos_].slot).state == kDead) {
+    free_slot(sorted_[spos_].slot);
+    ++spos_;
+  }
+  while (!incur_.empty() && slab(incur_.front().slot).state == kDead) {
+    free_slot(incur_.front().slot);
+    std::pop_heap(incur_.begin(), incur_.end(),
+                  [](const Key& a, const Key& b) { return key_less(b, a); });
+    incur_.pop_back();
+  }
+}
+
+// The canonical head across the sealed bucket and the incursion heap,
+// reclaiming cancelled entries in its way; advances the cursor as needed.
+// Incursion entries sit in strictly earlier level-0 buckets than anything
+// still on the wheel, so comparing the two heads is a complete merge.
+// Returns null when no runnable event remains. The pointer is valid until
+// the next mutating call.
+const EventQueue::Key* EventQueue::peek_head() {
+  for (;;) {
+    prune_dead_heads();
+    const Key* s = spos_ < sorted_.size() ? &sorted_[spos_] : nullptr;
+    const Key* i = incur_.empty() ? nullptr : incur_.data();
+    if (s != nullptr && i != nullptr) return key_less(*s, *i) ? s : i;
+    if (s != nullptr) return s;
+    if (i != nullptr) return i;
+    if (!advance()) return nullptr;
+  }
+}
+
+bool EventQueue::take_head(Key& out) {
+  const Key* h = peek_head();
+  if (h == nullptr) return false;
+  out = *h;
+  if (spos_ < sorted_.size() && h == &sorted_[spos_]) {
+    ++spos_;
+  } else {
+    std::pop_heap(incur_.begin(), incur_.end(),
+                  [](const Key& a, const Key& b) { return key_less(b, a); });
+    incur_.pop_back();
+  }
+  return true;
+}
+
+// --- draining -----------------------------------------------------------------
+
+std::uint64_t EventQueue::pop_some(std::uint64_t max_events) {
+  Key k;
+  if (!take_head(k)) return 0;
+  Entry& e = slab(k.slot);
+  now_ = k.time;
+  --pending_;
+  if (e.sink == nullptr) {
+    EventFn fn = std::move(e.fn);
+    // Reclaim before invoking: a handler cancelling its own id (or a fired
+    // id, the old cancelled_-set leak) hits a bumped generation and no-ops.
+    free_slot(k.slot);
+    fn();
+    return 1;
+  }
+
+  // Batch drain. Safety rule (DESIGN.md §6c): an entry may join the batch
+  // only if it has the same (sink, key), the same timestamp, AND a schedule
+  // clock strictly before that timestamp. Anything a handler schedules
+  // while the batch runs carries sched == time (now_ == k.time), which
+  // sorts at-or-after every remaining member under the canonical
+  // comparator — so nothing that serial execution would have interleaved
+  // between two members can exist. Draining them together is therefore a
+  // pure reordering of *pop* operations, not of *execution* order.
+  DeliverySink* sink = e.sink;
+  const std::uint32_t dkey = e.key;
+  PacketBatch batch;
+  batch.push(std::move(e.box));
+  e.sink = nullptr;
+  free_slot(k.slot);
+  const std::uint64_t want = batch_limit_ < max_events ? batch_limit_ : max_events;
+  while (batch.size() < want) {
+    const Key* h = peek_head();
+    if (h == nullptr || h->time != k.time || h->sched >= k.time) break;
+    Entry& pe = slab(h->slot);
+    if (pe.sink != sink || pe.key != dkey) break;
+    const std::uint32_t slot = h->slot;
+    if (spos_ < sorted_.size() && h == &sorted_[spos_]) {
+      ++spos_;
+    } else {
+      std::pop_heap(incur_.begin(), incur_.end(),
+                    [](const Key& a, const Key& b) { return key_less(b, a); });
+      incur_.pop_back();
+    }
+    --pending_;
+    batch.push(std::move(pe.box));
+    pe.sink = nullptr;
+    free_slot(slot);
+  }
+  const std::uint64_t n = batch.size();
+  sink->deliver_batch(dkey, std::move(batch));
+  return n;
 }
 
 std::uint64_t EventQueue::run(std::uint64_t limit) {
@@ -115,23 +419,17 @@ std::uint64_t EventQueue::run(std::uint64_t limit) {
 }
 
 SimTime EventQueue::next_event_time() {
-  // Discard cancelled entries at the head so the answer is the time of an
-  // event that will actually run.
-  while (!queue_.empty()) {
-    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    return queue_.top().time;
-  }
-  return kNever;
+  if (pending_ == 0) return kNever;  // dead entries may linger; none will run
+  const Key* h = peek_head();
+  return h != nullptr ? h->time : kNever;
 }
 
 std::uint64_t EventQueue::run_until(SimTime t) {
   std::uint64_t n = 0;
-  // next_event_time() skips cancelled heads, so a cancelled entry at time
-  // <= t can never smuggle in a live event scheduled past t.
+  // next_event_time() reclaims cancelled heads, so a cancelled entry at time
+  // <= t can never smuggle in a live event scheduled past t. The peek may
+  // move the drain cursor past t; anything scheduled into the gap afterwards
+  // routes through the incursion heap, preserving canonical order.
   while (next_event_time() <= t) {
     n += pop_some(UINT64_MAX);
   }

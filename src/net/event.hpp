@@ -7,12 +7,19 @@
 // it goes through a mailbox (net/mailbox.hpp) and is scheduled into the
 // target queue by the coordinator at a window barrier, when no worker is
 // running. Single-shard programs are unaffected: one thread, one queue.
+//
+// Implementation (DESIGN.md §6h): a deterministic hierarchical calendar
+// queue. Entries live in a pooled slab (chunks tagged mem::AllocTag::kEvent)
+// and are ordered through 32-byte sort keys only — the ~100-byte payload
+// (SmallFn capture, delivery box) never moves during ordering. Scheduling
+// and cancelling are O(1); cancel is a generation-checked handle
+// invalidation, so there is no cancelled-id side table to leak or to rehash
+// on the hot path. Buckets drain in canonical (time, sched, rank, seq)
+// order, byte-identical to the previous binary-heap implementation.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "mem/smallfn.hpp"
@@ -21,7 +28,10 @@
 
 namespace asp::net {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Packed handle:
+/// (generation << 32) | slab slot. Generations start at 1 and bump when a
+/// slot is reclaimed, so 0 is never a valid id and a stale handle (the event
+/// already ran, or its slot was reused) cancels nothing.
 using EventId = std::uint64_t;
 
 /// Event callback type: move-only, with a 64-byte inline capture buffer (see
@@ -29,12 +39,12 @@ using EventId = std::uint64_t;
 /// capture budget note on EventQueue::Entry.
 using EventFn = mem::SmallFn<64>;
 
-/// A priority queue of timestamped callbacks. Events at equal times run in
+/// A calendar queue of timestamped callbacks. Events at equal times run in
 /// order of the clock at which they were scheduled, then in scheduling order
 /// (FIFO) — which keeps simulations deterministic. In a serial run the two
-/// rules coincide (now() never decreases, so FIFO ids already order by
-/// schedule clock); the distinction only matters for cross-shard merges, see
-/// schedule_merged().
+/// rules coincide (now() never decreases, so FIFO sequence numbers already
+/// order by schedule clock); the distinction only matters for cross-shard
+/// merges, see net/exec.cpp.
 ///
 /// Packet deliveries scheduled via schedule_delivery() additionally
 /// participate in BATCH DRAINING: when the head of the queue is a delivery,
@@ -45,7 +55,10 @@ using EventFn = mem::SmallFn<64>;
 /// produces byte-identical simulations.
 class EventQueue {
  public:
-  EventQueue() : batch_limit_(default_batch_limit()) {}
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `fn` to run at absolute time `t` (>= now()).
   EventId schedule_at(SimTime t, EventFn fn);
@@ -76,8 +89,12 @@ class EventQueue {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event. Cancelling an already-run or unknown id is a no-op.
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// Cancels a pending event in O(1): the handle's generation is checked
+  /// against the slot, the callback's captures are destroyed eagerly, and
+  /// the slot is reclaimed when its bucket drains. Cancelling an already-run,
+  /// stale, or unknown id (including 0) is a no-op — a handle can never hit
+  /// an event other than the one it was issued for.
+  void cancel(EventId id);
 
   /// Runs events until the queue is empty or `limit` events have run.
   /// Returns the number of events executed (each batched delivery counts as
@@ -91,16 +108,17 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// True if no runnable events remain.
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  bool empty() const { return pending_ == 0; }
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of pending (non-cancelled) events. Exact: cancelling an
+  /// already-run id no longer skews the count (it is a pure no-op).
+  std::size_t pending() const { return pending_; }
 
   /// Sentinel returned by next_event_time() when no runnable event remains.
   static constexpr SimTime kNever = ~SimTime{0};
 
   /// Timestamp of the earliest runnable (non-cancelled) event, or kNever.
-  /// Lazily discards cancelled entries at the head. The parallel executor's
+  /// Lazily reclaims cancelled entries at the head. The parallel executor's
   /// coordinator reads this at window barriers to size the next safe window.
   SimTime next_event_time();
 
@@ -116,7 +134,32 @@ class EventQueue {
   static void set_default_batch_limit(std::size_t n);
   static std::size_t default_batch_limit();
 
+  /// log2 of the level-0 calendar bucket width in ns (clamped to [4, 20];
+  /// default 10 → 1.024 µs buckets, each wheel level 256× coarser). Purely a
+  /// performance knob: buckets partition time and drain in canonical order,
+  /// so any width produces byte-identical simulations — the determinism
+  /// sweep in tests/event_calendar_test.cpp proves it. Takes effect only
+  /// while the queue holds no entries (live or cancelled-undrained).
+  void set_bucket_width_log2(unsigned w);
+  unsigned bucket_width_log2() const { return wlog_; }
+
+  /// Process-wide default applied to queues constructed afterwards, like
+  /// set_default_batch_limit().
+  static void set_default_bucket_width_log2(unsigned w);
+  static unsigned default_bucket_width_log2();
+
  private:
+  // --- geometry ---------------------------------------------------------------
+  // kLevels wheel levels of kBuckets buckets each; level L buckets are
+  // 2^(wlog_ + kBucketBits*L) ns wide. Level 0 is sealed-and-run; upper
+  // levels cascade into finer levels when the cursor reaches them. Events
+  // beyond the level-3 horizon (~4.4 simulated hours at the default width)
+  // wait in the lazily-partitioned far band.
+  static constexpr unsigned kBucketBits = 8;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;  // 256
+  static constexpr unsigned kLevels = 4;
+  static constexpr std::size_t kChunkSlots = 256;  // slab slots per chunk
+
   // Capture budget: `fn` stores its capture inline up to EventFn::kInlineBytes
   // (64 bytes — a `this` pointer plus several shared_ptrs, or a pooled
   // Packet box handle, all fit). Anything larger silently falls back to a
@@ -128,35 +171,85 @@ class EventQueue {
   // Delivery entries bypass `fn` entirely: they carry (sink, key, box)
   // directly so the batch drain can move the boxes out without invoking
   // anything.
+  //
+  // The slot's payload. Ordering fields live in Key, not here: the slab
+  // entry is written once at schedule and read once at drain.
   struct Entry {
-    SimTime time;
-    SimTime sched;       // clock when scheduled (sender clock for deliveries)
-    std::uint32_t rank;  // sender topo index for p2p deliveries, else max
-    EventId id;
     EventFn fn;
     DeliverySink* sink = nullptr;  // non-null: batchable delivery entry
-    std::uint32_t key = 0;
     PacketBatch::Box box{};
+    std::uint32_t key = 0;
+    std::uint32_t gen = 1;        // bumps on reclaim; 0 is never issued
+    std::uint32_t next_free = 0;  // freelist link while FREE
+    std::uint8_t state = 0;       // kFree / kLive / kDead
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.sched != b.sched) return a.sched > b.sched;
-      if (a.rank != b.rank) return a.rank > b.rank;
-      return a.id > b.id;
-    }
+  enum : std::uint8_t { kFree = 0, kLive = 1, kDead = 2 };
+
+  // The 32-byte sort key — the only thing the calendar moves, sorts, or
+  // heapifies. `seq` is the per-queue schedule sequence number: it plays
+  // exactly the role the monotonically-issued id played in the old
+  // comparator, so canonical order is bit-for-bit unchanged.
+  struct Key {
+    SimTime time;
+    SimTime sched;
+    std::uint64_t seq;
+    std::uint32_t rank;
+    std::uint32_t slot;
+  };
+  static bool key_less(const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.sched != b.sched) return a.sched < b.sched;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.seq < b.seq;
+  }
+
+  // One wheel cell. `num` is the absolute bucket number held (valid iff the
+  // occupancy bit is set); the placement window guarantees at most one
+  // absolute bucket maps to a cell at a time.
+  struct Cell {
+    std::uint64_t num = 0;
+    std::vector<Key> keys;
   };
 
-  /// Pops and executes the next runnable event; a delivery head may drain up
-  /// to min(batch_limit_, max_events) entries as one batch. Returns the
-  /// number of events executed (0 when the queue is empty).
+  // --- slab -------------------------------------------------------------------
+  Entry& slab(std::uint32_t slot) {
+    return chunks_[slot >> 8][slot & (kChunkSlots - 1)];
+  }
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+
+  // --- calendar ---------------------------------------------------------------
+  void place(const Key& k);
+  bool advance();                 // move cur_b_ to the next occupied bucket
+  bool take_head(Key& out);       // consume the canonical head (skips dead)
+  const Key* peek_head();         // canonical head without consuming, or null
+  void prune_dead_heads();
   std::uint64_t pop_some(std::uint64_t max_events);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t seq_ = 1;         // canonical FIFO tie-break (old next_id_)
+  std::size_t pending_ = 0;       // live (non-cancelled, not-yet-run) entries
+  std::size_t occupied_ = 0;      // live + cancelled-but-undrained slots
   std::size_t batch_limit_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  unsigned wlog_;
+
+  // Drain cursor: absolute level-0 bucket number currently sealed. Entries
+  // landing at or before it go to the incursion heap.
+  std::uint64_t cur_b_ = 0;
+
+  std::vector<std::unique_ptr<Entry[]>> chunks_;
+  std::uint32_t free_head_ = UINT32_MAX;  // slab freelist head (slot index)
+
+  std::vector<Key> sorted_;       // sealed current bucket, canonically sorted
+  std::size_t spos_ = 0;          // consumption index into sorted_
+  std::size_t bucket_hiwat_ = 0;  // largest bucket sealed so far (see place())
+  std::vector<Key> incur_;        // min-heap: entries at/behind the cursor
+  std::vector<Key> far_;          // beyond the wheel horizon, unsorted
+  SimTime far_min_ = kNever;
+  std::vector<Key> cascade_;      // scratch for redistributing a coarse bucket
+
+  Cell cells_[kLevels][kBuckets];
+  std::uint64_t occ_[kLevels][kBuckets / 64] = {};
 };
 
 }  // namespace asp::net

@@ -264,8 +264,8 @@ void ParallelExecutor::merge_mailboxes() {
     std::vector<CrossShardMsg*> msgs = sh.inbox.drain();
     if (msgs.empty()) continue;
     // Total deterministic order. Scheduling in sorted order hands out
-    // increasing EventIds, so the queue's (time, id) tie-break reproduces
-    // exactly this order — matching the serial schedule.
+    // increasing sequence numbers, so the queue's (time, sched, rank, seq)
+    // tie-break reproduces exactly this order — matching the serial schedule.
     std::sort(msgs.begin(), msgs.end(), [](const CrossShardMsg* a,
                                            const CrossShardMsg* b) {
       return std::tie(a->arrival, a->sent, a->sender_topo, a->seq) <

@@ -4,17 +4,46 @@
 
 namespace asp::net {
 
+namespace {
+
+// Process-wide route-cache totals: tables belong to shard-confined nodes but
+// are too numerous (and too short-lived in tests) for per-instance
+// instruments, so they share one aggregate pair like coarse node metrics.
+// Counter increments are relaxed-atomic, so concurrent shards are fine.
+struct RouteCacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+};
+RouteCacheCounters& route_cache_counters() {
+  static RouteCacheCounters c{
+      &obs::registry().counter("node/_agg/net/route_cache_hits"),
+      &obs::registry().counter("node/_agg/net/route_cache_misses")};
+  return c;
+}
+
+}  // namespace
+
 void RoutingTable::add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop) {
   // Stable insert keeping prefix_len descending: lookup's first match is the
   // longest prefix, and first-added still wins among equal lengths.
   auto it = std::find_if(routes_.begin(), routes_.end(),
                          [&](const Route& r) { return r.prefix_len < prefix_len; });
   routes_.insert(it, Route{prefix, prefix_len, iface, next_hop});
+  cached_idx_ = SIZE_MAX;  // the new route may now be the best match
 }
 
 const Route* RoutingTable::lookup(Ipv4Addr dst) const {
-  for (const Route& r : routes_) {
-    if (dst.in_prefix(r.prefix, r.prefix_len)) return &r;  // sorted: first = best
+  if (cached_idx_ != SIZE_MAX && dst == cached_dst_) {
+    route_cache_counters().hits->inc();
+    return &routes_[cached_idx_];
+  }
+  route_cache_counters().misses->inc();
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (dst.in_prefix(routes_[i].prefix, routes_[i].prefix_len)) {
+      cached_dst_ = dst;  // sorted: first = best
+      cached_idx_ = i;
+      return &routes_[i];
+    }
   }
   return nullptr;
 }

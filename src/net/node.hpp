@@ -39,13 +39,21 @@ class RoutingTable {
  public:
   void add(Ipv4Addr prefix, int prefix_len, int iface, Ipv4Addr next_hop = {});
   void add_default(int iface, Ipv4Addr next_hop = {}) { add({}, 0, iface, next_hop); }
-  /// Returns the best route for `dst` or nullptr.
+  /// Returns the best route for `dst` or nullptr. Longest-prefix scan with a
+  /// one-entry MRU cache in front: core routers in a fat-tree forward long
+  /// runs of packets to the same destination, and each would otherwise
+  /// re-scan up to k prefixes. Hit/miss totals are published process-wide as
+  /// node/_agg/net/route_cache_{hits,misses}.
   const Route* lookup(Ipv4Addr dst) const;
   /// Routes in lookup order (longest prefix first), not insertion order.
   const std::vector<Route>& routes() const { return routes_; }
 
  private:
   std::vector<Route> routes_;  // sorted: prefix_len descending, stable
+  // MRU cache (index, not pointer: add() reallocates routes_ and also
+  // invalidates — a new longer prefix may beat the cached match).
+  mutable Ipv4Addr cached_dst_{};
+  mutable std::size_t cached_idx_ = SIZE_MAX;  // SIZE_MAX: empty
 };
 
 /// An unreliable datagram socket bound to a UDP port on a node.
