@@ -1,0 +1,175 @@
+// In-network caching at scenario scale (ROADMAP item 2): the checked-in
+// fat_tree_cache.scn run three ways — no cache, the verified PLAN-P
+// edge-cache ASP, and the hand-written native hook — so three claims are
+// measured in one sweep:
+//
+//   offload     origin requests per completed fetch must fall at least 2x
+//               with the ASP tier installed (gated: the bench fails without
+//               it — a cache that does not offload is miswired);
+//   parity      planp and native must agree on every cache verdict (hits,
+//               misses, fills and origin counts are compared exactly: both
+//               tiers see the identical deterministic request stream);
+//   determinism the planp run's metrics JSON must be byte-identical at
+//               shards 1/4/16 (same witness as bench_parallel).
+//
+// Wall-clock per mode is recorded (never gated — host-dependent, marked
+// hw_limited like bench_parallel) to show what PLAN-P interpretation costs
+// on the edge dispatch path relative to the native hook.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "mem/pool.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef ASP_SCENARIO_DIR
+#define ASP_SCENARIO_DIR "scenarios"
+#endif
+
+namespace {
+
+struct CacheRun {
+  double ms = 0;
+  std::string json;
+  asp::scenario::ScenarioMetrics m;
+};
+
+CacheRun run_mode(asp::scenario::ScenarioConfig cfg, const std::string& mode,
+                  int shards) {
+  cfg.asp_cache = mode;
+  asp::scenario::Scenario sc(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  CacheRun out;
+  out.m = sc.run(shards);
+  out.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  out.json = out.m.to_json();
+  return out;
+}
+
+double per_completed(const asp::scenario::ScenarioMetrics& m) {
+  return m.workload.completed == 0
+             ? 0
+             : static_cast<double>(m.workload.origin_requests) /
+                   static_cast<double>(m.workload.completed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --duration=S overrides the .scn run length; --shards=N caps the
+  // determinism sweep (serial always runs).
+  const asp::bench::Options opts =
+      asp::bench::parse_options(argc, argv, {.shards = 16});
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool hw_limited = hw <= 1;
+  asp::obs::registry().gauge("bench/cache/hardware_concurrency").set(hw);
+  asp::obs::registry().gauge("bench/cache/hw_limited").set(hw_limited ? 1 : 0);
+
+  asp::scenario::ScenarioConfig cfg;
+  std::string err;
+  const std::string path = std::string(ASP_SCENARIO_DIR) + "/fat_tree_cache.scn";
+  if (!asp::scenario::load_scn_file(path, cfg, err)) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (opts.duration_s > 0) {
+    cfg.run.duration = static_cast<asp::net::SimTime>(opts.duration_s * 1e9);
+  }
+
+  std::printf("=== In-network caching: %s, %.0f ms sim ===\n\n", cfg.name.c_str(),
+              static_cast<double>(cfg.run.duration) / 1e6);
+  std::printf("%8s %10s %10s %10s %10s %10s %12s %12s\n", "cache", "wall ms",
+              "completed", "origin", "hits", "hit %", "p50 us", "p99 us");
+
+  CacheRun runs[3];
+  const char* modes[3] = {"none", "planp", "native"};
+  for (int i = 0; i < 3; ++i) {
+    CacheRun& r = runs[i];
+    r = run_mode(cfg, modes[i], /*shards=*/1);
+    const double lookups =
+        static_cast<double>(r.m.cache_hits + r.m.cache_misses);
+    std::printf("%8s %10.1f %10llu %10llu %10llu %9.1f%% %12.0f %12.0f\n",
+                modes[i], r.ms,
+                static_cast<unsigned long long>(r.m.workload.completed),
+                static_cast<unsigned long long>(r.m.workload.origin_requests),
+                static_cast<unsigned long long>(r.m.cache_hits),
+                lookups > 0 ? 100.0 * static_cast<double>(r.m.cache_hits) / lookups
+                            : 0.0,
+                static_cast<double>(r.m.workload.latency_quantile_ns(0.50)) / 1e3,
+                static_cast<double>(r.m.workload.latency_quantile_ns(0.99)) / 1e3);
+    const std::string p = std::string("bench/cache/") + modes[i] + "/";
+    asp::obs::registry().gauge(p + "wall_ms").set(r.ms);
+    asp::obs::registry().gauge(p + "completed")
+        .set(static_cast<double>(r.m.workload.completed));
+    asp::obs::registry().gauge(p + "origin_requests")
+        .set(static_cast<double>(r.m.workload.origin_requests));
+    asp::obs::registry().gauge(p + "cache_hits")
+        .set(static_cast<double>(r.m.cache_hits));
+    asp::obs::registry().gauge(p + "latency_p50_ns")
+        .set(static_cast<double>(r.m.workload.latency_quantile_ns(0.50)));
+    asp::obs::registry().gauge(p + "latency_p99_ns")
+        .set(static_cast<double>(r.m.workload.latency_quantile_ns(0.99)));
+  }
+
+  bool ok = true;
+
+  // Gate 1: offload. Origin requests per completed fetch must at least halve.
+  const double base = per_completed(runs[0].m);
+  const double planp = per_completed(runs[1].m);
+  const double reduction = planp > 0 ? base / planp : 0;
+  std::printf("\norigin offload: %.2f -> %.2f origin/completed (%.1fx reduction)\n",
+              base, planp, reduction);
+  asp::obs::registry().gauge("bench/cache/offload_factor").set(reduction);
+  if (runs[1].m.workload.completed == 0 || reduction < 2.0) {
+    std::printf("FAIL: cache tier must cut origin traffic at least 2x\n");
+    ok = false;
+  }
+
+  // Gate 2: planp/native parity — identical policy over the identical
+  // deterministic request stream means identical verdicts, exactly.
+  const auto& mp = runs[1].m;
+  const auto& mn = runs[2].m;
+  const bool parity = mp.cache_hits == mn.cache_hits &&
+                      mp.cache_misses == mn.cache_misses &&
+                      mp.cache_fills == mn.cache_fills &&
+                      mp.workload.origin_requests == mn.workload.origin_requests &&
+                      mp.workload.completed == mn.workload.completed;
+  std::printf("planp/native parity: %s\n", parity ? "OK" : "FAILED");
+  if (!parity) ok = false;
+  asp::obs::registry().gauge("bench/cache/parity").set(parity ? 1 : 0);
+  if (runs[1].ms > 0) {
+    asp::obs::registry()
+        .gauge("bench/cache/native_over_planp_wall")
+        .set(runs[2].ms / runs[1].ms);
+  }
+
+  // Gate 3: shard determinism of the planp run's serialized metrics.
+  bool deterministic = true;
+  for (int s : {4, 16}) {
+    if (s > opts.shards) continue;
+    CacheRun r = run_mode(cfg, "planp", s);
+    deterministic = deterministic && r.json == runs[1].json;
+  }
+  std::printf("shard determinism (1/4/16): %s\n",
+              deterministic ? "OK (byte-identical JSON)" : "FAILED");
+  if (!deterministic) ok = false;
+  asp::obs::registry().gauge("bench/cache/deterministic").set(deterministic ? 1 : 0);
+
+  // The whole sweep must stay on the allocator fast path.
+  const asp::mem::PoolTotals pools = asp::mem::total_pool_stats();
+  asp::obs::registry().gauge("bench/cache/pool_spills")
+      .set(static_cast<double>(pools.spills));
+  if (pools.spills != 0) {
+    std::printf("FAIL: %llu pool spills (expected 0)\n",
+                static_cast<unsigned long long>(pools.spills));
+    ok = false;
+  }
+
+  asp::obs::write_bench_json("cache");
+  return ok ? 0 : 1;
+}

@@ -84,8 +84,17 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(pools.spills));
       return 1;
     }
-    std::printf("smoke OK: %llu packets delivered, 0 pool spills\n",
-                static_cast<unsigned long long>(m.delivered_packets));
+    // With a cache tier configured, the run must actually hit in it — a
+    // scenario whose edge caches never serve is a miswired scenario.
+    if (cfg.asp_cache != "none" && m.cache_hits == 0) {
+      std::fprintf(stderr, "smoke FAIL: cache tier configured (%s) but 0 hits\n",
+                   cfg.asp_cache.c_str());
+      return 1;
+    }
+    std::printf("smoke OK: %llu packets delivered, %llu cache hits, "
+                "0 pool spills\n",
+                static_cast<unsigned long long>(m.delivered_packets),
+                static_cast<unsigned long long>(m.cache_hits));
   }
   return 0;
 }

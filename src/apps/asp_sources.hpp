@@ -321,6 +321,66 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
 )";
 }
 
+// --- in-network HTTP caching proxy (ROADMAP item 2) ----------------------------
+
+/// Edge-cache ASP: a Traffic Server-style forward proxy scaled down to one
+/// channel pair. Requests for originHost:httpPort are answered from the
+/// router's object cache when fresh (cacheLookup raises CacheMiss otherwise);
+/// misses travel on to the origin, and the response fills the cache as it
+/// passes back through the router. Cache hits ride the `hit` channel so the
+/// verifier sees an acyclic send graph: the reply (destination rewritten to
+/// the requesting client) never re-enters `network`, and `hit` itself only
+/// forwards destination-preserving packets. Hosts deliver by port, tag or no
+/// tag, so an unmodified client cannot tell a hit from an origin response.
+inline std::string cache_proxy_asp(asp::net::Ipv4Addr origin, int http_port = 8080,
+                                   int entries = 256, int ttl_ms = 0) {
+  return std::string(R"(-- In-network HTTP caching proxy (DESIGN.md 6i).
+val originHost : host = )") + origin.str() + R"(
+val httpPort : int = )" + std::to_string(http_port) + R"(
+val cacheEntries : int = )" + std::to_string(entries) + R"(
+val cacheTtlMs : int = )" + std::to_string(ttl_ms) + R"(
+
+-- "GET <path>" / "RSP <path> <body>": the path is word 1 either way.
+fun pathOf(body : string) : string = try strWord(body, 1) with ""
+
+channel network(ps : int, ss : unit, p : ip*udp*blob)
+initstate cacheConfigure(cacheEntries, cacheTtlMs) is
+  let val iph : ip = #1 p
+      val udph : udp = #2 p
+      val body : string = blobToString(#3 p)
+  in
+    if ipDst(iph) = originHost and udpDst(udph) = httpPort
+       and startsWith(body, "GET ") then
+      -- One non-raising lookup, empty blob = miss (not try around
+      -- cacheLookup: a try's worst case sums body and handler, so a handler
+      -- that re-sends would break the duplication analysis and one that
+      -- drops would break guaranteed delivery; and exactly one lookup call
+      -- keeps the hit/miss counters aligned with the native C++ proxy).
+      let val key : int = cacheKey("GET", originHost, pathOf(body))
+          val cached : blob = cacheGetDefault(key, blobFromString(""))
+      in
+        if blobLen(cached) > 0 then
+          (OnRemote(hit, (ipDestSet(ipSrcSet(iph, originHost), ipSrc(iph)),
+                          udpSrcSet(udpDstSet(udph, udpSrc(udph)), httpPort),
+                          cached));
+           (ps + 1, ss))
+        else (OnRemote(network, p); (ps, ss))
+      end
+    else
+      if ipSrc(iph) = originHost and udpSrc(udph) = httpPort
+         and startsWith(body, "RSP ") then
+        (cacheStore(cacheKey("GET", originHost, pathOf(body)), #3 p);
+         OnRemote(network, p); (ps, ss))
+      else
+        (OnRemote(network, p); (ps, ss))
+  end
+
+-- Hits in transit: routers between the cache and the client pass them along.
+channel hit(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(hit, p); (ps, ss))
+)";
+}
+
 // --- §3.3 point-to-point to multipoint MPEG -----------------------------------
 
 /// Monitor ASP: runs promiscuously on one machine of the client segment.

@@ -1,0 +1,114 @@
+// In-network HTTP caching proxy (ROADMAP item 2): origin, clients, and the
+// hand-written C++ proxy baseline.
+//
+// The wire protocol is deliberately tiny — "GET <path>" requests and
+// "RSP <path> <body>" responses over UDP — so the same policy can be written
+// twice: once as asps/cache_proxy.planp and once here against the packet
+// structs, and the two can be diffed byte-for-byte (tests/apps_cache_test.cpp).
+// Both sides share planp::CacheStore, so residency, TTL and LRU decisions are
+// identical by construction; what the comparison checks is the wire handling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/http/http.hpp"  // TraceEntry / make_trace / trace_path
+#include "net/network.hpp"
+#include "planp/cache.hpp"
+
+namespace asp::apps {
+
+/// UDP port the origin serves on (and the proxies intercept).
+inline constexpr std::uint16_t kCachePort = 8080;
+/// First client-side port; process p of a pool binds kCacheClientPort + p.
+inline constexpr std::uint16_t kCacheClientPort = 9100;
+
+/// The deterministic response for `path`: "RSP <path> " + size_from_path(path)
+/// content bytes patterned from FNV(path). Origin and tests agree on bytes
+/// without shared state, so a cache hit can be diffed against an origin fetch.
+std::vector<std::uint8_t> cache_response_body(const std::string& path);
+
+/// Origin server: answers "GET <path>" datagrams with the canonical response.
+class CacheOrigin {
+ public:
+  explicit CacheOrigin(asp::net::Node& node);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  asp::net::Node& node_;
+  std::unique_ptr<asp::net::UdpSocket> sock_;
+  std::uint64_t served_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Closed-loop client pool: each process requests the next trace entry as
+/// soon as the previous response lands (or a watchdog gives up on it).
+class CacheClientPool {
+ public:
+  CacheClientPool(asp::net::Node& node, asp::net::Ipv4Addr origin,
+                  std::vector<TraceEntry> trace, int processes);
+
+  void start();
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  double mean_latency_ms() const {
+    return completed_ > 0 ? total_latency_ms_ / static_cast<double>(completed_) : 0;
+  }
+
+  /// Test hook: invoked with (path, full response payload) per completion.
+  void on_response(std::function<void(const std::string&,
+                                      const std::vector<std::uint8_t>&)> cb) {
+    on_response_ = std::move(cb);
+  }
+
+ private:
+  struct Proc {
+    std::unique_ptr<asp::net::UdpSocket> sock;
+    std::string outstanding;         // path awaited ("" = idle)
+    asp::net::SimTime issued = 0;
+    std::uint64_t epoch = 0;         // invalidates stale watchdogs
+  };
+
+  void issue(std::size_t proc);
+
+  asp::net::Node& node_;
+  asp::net::Ipv4Addr origin_;
+  std::vector<TraceEntry> trace_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::size_t next_entry_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  double total_latency_ms_ = 0;
+  std::function<void(const std::string&, const std::vector<std::uint8_t>&)>
+      on_response_;
+};
+
+/// The C++ baseline proxy: same policy as cache_proxy.planp, hand-written
+/// against the packet structs and hooked into a router's IP layer. Serves
+/// hits by synthesizing the reply locally (payload aliases the cached
+/// buffer — zero copies), forwards misses, fills from passing responses.
+class NativeCacheProxy {
+ public:
+  NativeCacheProxy(asp::net::Node& router, asp::net::Ipv4Addr origin,
+                   std::size_t entries = 256, std::int64_t ttl_ms = 0);
+
+  std::uint64_t hits() const { return store_.stats().hits; }
+  const planp::CacheStore& store() const { return store_; }
+
+ private:
+  bool on_packet(asp::net::Packet& p);
+
+  asp::net::Node& node_;
+  asp::net::Ipv4Addr origin_;
+  planp::CacheStore store_;
+};
+
+}  // namespace asp::apps

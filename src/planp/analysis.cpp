@@ -435,6 +435,65 @@ class DuplicationAnalysis {
   std::vector<int> fun_max_sends_;
 };
 
+// ---------------------------------------------------------------------------
+// Bounded per-packet cost.
+// ---------------------------------------------------------------------------
+
+class CostAnalysis {
+ public:
+  explicit CostAnalysis(const CheckedProgram& prog) : prog_(prog) {
+    fun_cost_.resize(prog.functions.size(), 0);
+    for (std::size_t i = 0; i < prog.functions.size(); ++i) {
+      fun_cost_[i] = cost(*prog.functions[i]->body);
+    }
+  }
+
+  /// Worst-case abstract work along any single execution path: every AST node
+  /// costs 1 (interpreter/VM step), primitives add their declared weight,
+  /// emissions add a fixed routing charge. Max over if-branches, sum over
+  /// sequences; try conservatively pays protected part plus handler. Calls
+  /// inline the callee's precomputed cost — the call graph is a DAG, so this
+  /// mirrors DuplicationAnalysis and terminates.
+  int cost(const Expr& e) {
+    using K = Expr::Kind;
+    // Saturate well past any budget so deep sums cannot overflow int.
+    auto cap = [](long long v) {
+      return static_cast<int>(std::min<long long>(v, 1 << 28));
+    };
+    long long n = 1;
+    switch (e.kind) {
+      case K::kIf:
+        return cap(1 + cost(*e.args[0]) +
+                   std::max(cost(*e.args[1]), cost(*e.args[2])));
+      case K::kTry:
+        return cap(1 + cost(*e.args[0]) + cost(*e.args[1]));
+      case K::kCall: {
+        for (const auto& a : e.args) n += cost(*a);
+        if (is_primitive_call(e.call_target)) {
+          n += Primitives::instance().at(e.call_target).cost;
+        } else {
+          n += fun_cost_[static_cast<std::size_t>(user_fun_index(e.call_target))];
+        }
+        return cap(n);
+      }
+      case K::kSend: {
+        constexpr int kEmitCost = 4;  // route lookup + enqueue
+        n += e.send_kind == SendKind::kDrop ? 0 : kEmitCost;
+        for (const auto& a : e.args) n += cost(*a);
+        return cap(n);
+      }
+      default: {
+        for (const auto& a : e.args) n += cost(*a);
+        return cap(n);
+      }
+    }
+  }
+
+ private:
+  const CheckedProgram& prog_;
+  std::vector<int> fun_cost_;
+};
+
 }  // namespace
 
 AnalysisReport analyze(const CheckedProgram& prog) {
@@ -525,6 +584,28 @@ AnalysisReport analyze(const CheckedProgram& prog) {
                                   "' duplicates packets inside a send cycle";
       break;
     }
+  }
+
+  // 5. Bounded per-packet cost: the heaviest channel body must fit the budget.
+  CostAnalysis coster(prog);
+  report.max_channel_cost = 0;
+  std::string costliest;
+  for (const ChannelDef* c : prog.channels) {
+    int units = coster.cost(*c->body);
+    if (units > report.max_channel_cost) {
+      report.max_channel_cost = units;
+      costliest = c->name;
+    }
+  }
+  report.cost_bounded = report.max_channel_cost <= AnalysisReport::kCostBudget;
+  if (prog.channels.empty()) {
+    report.cost_detail = "no channels";
+  } else {
+    report.cost_detail = "channel '" + costliest + "' worst-case " +
+                         std::to_string(report.max_channel_cost) + " units (" +
+                         (report.cost_bounded ? "within" : "exceeds") +
+                         " budget " + std::to_string(AnalysisReport::kCostBudget) +
+                         ")";
   }
 
   // The verifier-cost story (§2.1): every analysis run reports its wall time

@@ -13,6 +13,13 @@
 //     forward/deliver, and no PLAN-P exception can escape unhandled.
 //  4. Linear packet duplication — fix-point over channels: on every execution
 //     path, at most one emitted packet reaches a channel that can itself emit.
+//  5. Bounded per-packet cost — every primitive carries an abstract work
+//     weight (Primitive::cost: 1 for scalar ops, up to 64 for payload-sized
+//     ones like the audio transcoders or cacheConfigure); the worst-case sum
+//     along any execution path of a channel body must fit kCostBudget. With
+//     no loops this is a max-over-branches/sum-over-sequences walk, the cost
+//     analogue of the duplication count. Keeps a stateful ASP (e.g. the HTTP
+//     edge cache) from hiding unbounded per-packet work behind primitives.
 //
 // All analyses are conservative: "false" means "could not prove", not
 // "violates" (the paper: privileged users may load unverified protocols).
@@ -25,25 +32,36 @@
 namespace asp::planp {
 
 struct AnalysisReport {
+  /// Per-packet work-unit ceiling a channel may not exceed (analysis 5).
+  /// Sized so the heaviest legitimate ASP (two audio transcodes plus
+  /// bookkeeping, or a cache lookup/fill pair with a header rewrite) passes
+  /// with an order of magnitude to spare.
+  static constexpr int kCostBudget = 1024;
+
   bool local_termination = false;
   bool global_termination = false;
   bool guaranteed_delivery = false;
   bool linear_duplication = false;
+  bool cost_bounded = false;
 
   std::string global_termination_detail;
   std::string delivery_detail;
   std::string duplication_detail;
+  std::string cost_detail;
 
   /// States visited by the global-termination exploration (§2.1's r*d*2^d).
   int states_explored = 0;
   /// Iterations used by the duplication fix-point.
   int fixpoint_iterations = 0;
+  /// Worst-case work units of any channel body (analysis 5).
+  int max_channel_cost = 0;
 
   /// The gate a router applies before accepting a download. Delivery is
-  /// advisory (some protocols legitimately drop); termination and duplication
-  /// are mandatory, as in the paper.
+  /// advisory (some protocols legitimately drop); termination, duplication
+  /// and the cost bound are mandatory, as in the paper.
   bool accepted() const {
-    return local_termination && global_termination && linear_duplication;
+    return local_termination && global_termination && linear_duplication &&
+           cost_bounded;
   }
   bool fully_verified() const { return accepted() && guaranteed_delivery; }
 };

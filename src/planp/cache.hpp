@@ -1,0 +1,118 @@
+// CacheStore: the bounded LRU/TTL object cache behind the PLAN-P cache*
+// primitives (DESIGN.md §6i).
+//
+// The paper's ASPs keep per-router state in PLAN-P hash tables; an HTTP edge
+// cache needs a harder primitive — bounded residency, recency eviction and
+// freshness — so the store lives in C++ behind EnvApi and PLAN-P sees only
+// integer keys and blob bodies. One store per runtime (per node), so state is
+// shard-confined like the node itself and sharded runs stay deterministic.
+//
+// Memory discipline: all steady-state structures (slot array, probe index,
+// LRU links) are sized once by configure(); bodies are pooled net::Buffer
+// references, so a fill retains the packet's payload buffer and an eviction
+// returns it to the shard-local buffer pool (src/mem) — no allocator traffic
+// per operation, preserving the 0-alloc/packet budget and `spills==0`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+
+namespace asp::planp {
+
+class CacheStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;  // capacity (LRU) evictions
+    std::uint64_t expired = 0;    // TTL lapses observed by lookup/store
+  };
+
+  /// `metric_prefix` names the obs mirror ("cache/<node>"); empty = counters
+  /// kept locally only (tests, NullEnv).
+  explicit CacheStore(std::string metric_prefix = "");
+
+  /// Sizes the store: at most `max_entries` resident objects, each fresh for
+  /// `ttl_ms` after its fill (ttl_ms <= 0: never expires). Reconfiguring
+  /// clears residency but keeps counters. Entry count is clamped to
+  /// [1, kMaxEntries] — the verifier's cost bound assumes O(1) operations,
+  /// so the probe table must stay small enough to build at install time.
+  void configure(std::size_t max_entries, std::int64_t ttl_ms);
+
+  /// The body filled under `key` if present and fresh at `now_ms`, else
+  /// nullptr. A hit promotes the entry to most-recently-used; a stale entry
+  /// counts as `expired` (and is dropped), not as a plain miss.
+  const net::Buffer* lookup(std::uint64_t key, std::int64_t now_ms);
+
+  /// Fills `key` with `body` (refcounted alias, no copy), evicting the
+  /// least-recently-used entry if the store is full. Refilling an existing
+  /// key replaces the body and refreshes its TTL.
+  void store(std::uint64_t key, net::Buffer body, std::int64_t now_ms);
+
+  /// Freshness probe without LRU promotion or hit/miss accounting.
+  bool contains(std::uint64_t key, std::int64_t now_ms) const;
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return slots_.size(); }
+  const Stats& stats() const { return stats_; }
+  void clear();
+
+  /// Hard ceiling on configure()'s entry count (keeps install-time setup and
+  /// the per-op cost the verifier assumes honest).
+  static constexpr std::size_t kMaxEntries = 1 << 20;
+
+  // --- cache-key hashing (FNV-1a, same constants as the topology digest) ----
+  static std::uint64_t fnv1a(const void* bytes, std::size_t len,
+                             std::uint64_t seed = 14695981039346656037ull);
+  /// Key for a textual HTTP request line: method + host + path.
+  static std::uint64_t key_of(const std::string& method, std::uint32_t host_bits,
+                              const std::string& path);
+  /// Key for a binary object id served by `host_bits` (scenario wire format).
+  static std::uint64_t key_of(std::uint64_t object_id, std::uint32_t host_bits);
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::int64_t expire_ms = 0;  // absolute deadline; <0 = never
+    net::Buffer body;
+    std::uint32_t prev = kNil;  // toward MRU
+    std::uint32_t next = kNil;  // toward LRU
+  };
+
+  std::uint32_t find_slot(std::uint64_t key) const;  // kNil if absent
+  void index_insert(std::uint64_t key, std::uint32_t slot);
+  void index_erase(std::uint64_t key);  // backward-shift deletion
+  void lru_unlink(std::uint32_t slot);
+  void lru_push_front(std::uint32_t slot);
+  void evict_slot(std::uint32_t slot);  // unlink + release body + free
+  bool fresh(const Entry& e, std::int64_t now_ms) const {
+    return e.expire_ms < 0 || now_ms <= e.expire_ms;
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_;    // recycled slot ids
+  std::vector<std::uint32_t> index_;   // open-addressed key -> slot (kNil empty)
+  std::uint64_t index_mask_ = 0;
+  std::uint32_t lru_head_ = kNil;  // most recently used
+  std::uint32_t lru_tail_ = kNil;  // least recently used
+  std::size_t live_ = 0;
+  std::int64_t ttl_ms_ = 0;  // <=0: never expires
+
+  Stats stats_;
+  // obs mirrors (<prefix>/{hits,misses,fills,evictions,expired}), cached at
+  // construction like AspRuntime's; null when metric_prefix was empty.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_fills_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_expired_ = nullptr;
+};
+
+}  // namespace asp::planp

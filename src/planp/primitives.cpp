@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "planp/cache.hpp"
+
 namespace asp::planp {
 
 namespace {
@@ -93,24 +95,28 @@ TypePtr TAB() { return Type::Table(Type::Var(0), Type::Var(1)); }
 Primitives::Primitives() {
   auto add = [this](std::string name, std::vector<TypePtr> params, TypePtr ret,
                     std::function<Value(EnvApi&, const Args&)> fn,
-                    bool may_raise = false) {
+                    bool may_raise = false, int cost = 1) {
     int idx = static_cast<int>(prims_.size());
     by_name_[name].push_back(idx);
     prims_.push_back(
         Primitive{std::move(name), std::move(params), std::move(ret), may_raise,
-                  std::move(fn)});
+                  std::move(fn), cost});
   };
 
   // --- output ---------------------------------------------------------------
   for (TypePtr t : {S(), I(), B(), C(), H()}) {
-    add("print", {t}, U(), [](EnvApi& env, const Args& a) {
-      env.print(a[0].str());
-      return Value::unit();
-    });
-    add("println", {t}, U(), [](EnvApi& env, const Args& a) {
-      env.print(a[0].str() + "\n");
-      return Value::unit();
-    });
+    add("print", {t}, U(),
+        [](EnvApi& env, const Args& a) {
+          env.print(a[0].str());
+          return Value::unit();
+        },
+        /*may_raise=*/false, /*cost=*/8);
+    add("println", {t}, U(),
+        [](EnvApi& env, const Args& a) {
+          env.print(a[0].str() + "\n");
+          return Value::unit();
+        },
+        /*may_raise=*/false, /*cost=*/8);
   }
 
   // --- conversions / scalar helpers ------------------------------------------
@@ -156,7 +162,7 @@ Primitives::Primitives() {
         return Value::of_string(s.substr(static_cast<std::size_t>(from),
                                          static_cast<std::size_t>(len)));
       },
-      /*may_raise=*/true);
+      /*may_raise=*/true, /*cost=*/8);
   add("startsWith", {S(), S()}, B(), [](EnvApi&, const Args& a) {
     const std::string& s = a[0].as_string();
     const std::string& pre = a[1].as_string();
@@ -185,7 +191,7 @@ Primitives::Primitives() {
         }
         raise("OutOfBounds");
       },
-      /*may_raise=*/true);
+      /*may_raise=*/true, /*cost=*/8);
   add(
       "stringToInt", {S()}, I(),
       [](EnvApi&, const Args& a) {
@@ -211,11 +217,12 @@ Primitives::Primitives() {
       /*may_raise=*/true);
 
   // --- hash tables ------------------------------------------------------------
-  add("mkTable", {I()}, TAB(), [](EnvApi&, const Args& a) {
-    return Value::of_table(
-        std::make_shared<HashTable>(static_cast<std::size_t>(std::max<std::int64_t>(
-            1, a[0].as_int()))));
-  });
+  add("mkTable", {I()}, TAB(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_table(std::make_shared<HashTable>(
+            static_cast<std::size_t>(std::max<std::int64_t>(1, a[0].as_int()))));
+      },
+      /*may_raise=*/false, /*cost=*/64);
   add(
       "tableGet", {TAB(), VA()}, VB(),
       [](EnvApi&, const Args& a) {
@@ -223,25 +230,33 @@ Primitives::Primitives() {
         if (!v) raise("NotFound");
         return *v;
       },
-      /*may_raise=*/true);
-  add("tableSet", {TAB(), VA(), VB()}, U(), [](EnvApi&, const Args& a) {
-    a[0].as_table()->set(a[1], a[2]);
-    return Value::unit();
-  });
-  add("tableMem", {TAB(), VA()}, B(), [](EnvApi&, const Args& a) {
-    return Value::of_bool(a[0].as_table()->contains(a[1]));
-  });
-  add("tableRemove", {TAB(), VA()}, U(), [](EnvApi&, const Args& a) {
-    a[0].as_table()->remove(a[1]);
-    return Value::unit();
-  });
+      /*may_raise=*/true, /*cost=*/4);
+  add("tableSet", {TAB(), VA(), VB()}, U(),
+      [](EnvApi&, const Args& a) {
+        a[0].as_table()->set(a[1], a[2]);
+        return Value::unit();
+      },
+      /*may_raise=*/false, /*cost=*/4);
+  add("tableMem", {TAB(), VA()}, B(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_bool(a[0].as_table()->contains(a[1]));
+      },
+      /*may_raise=*/false, /*cost=*/4);
+  add("tableRemove", {TAB(), VA()}, U(),
+      [](EnvApi&, const Args& a) {
+        a[0].as_table()->remove(a[1]);
+        return Value::unit();
+      },
+      /*may_raise=*/false, /*cost=*/4);
   add("tableSize", {TAB()}, I(), [](EnvApi&, const Args& a) {
     return Value::of_int(static_cast<std::int64_t>(a[0].as_table()->size()));
   });
-  add("tableGetDefault", {TAB(), VA(), VB()}, VB(), [](EnvApi&, const Args& a) {
-    auto v = a[0].as_table()->get(a[1]);
-    return v ? *v : a[2];
-  });
+  add("tableGetDefault", {TAB(), VA(), VB()}, VB(),
+      [](EnvApi&, const Args& a) {
+        auto v = a[0].as_table()->get(a[1]);
+        return v ? *v : a[2];
+      },
+      /*may_raise=*/false, /*cost=*/4);
 
   // --- IP header --------------------------------------------------------------
   add("ipSrc", {IP()}, H(),
@@ -349,35 +364,83 @@ Primitives::Primitives() {
         return Value::of_blob(std::vector<std::uint8_t>(
             b.begin() + from, b.begin() + from + len));
       },
-      /*may_raise=*/true);
-  add("blobCat", {BL(), BL()}, BL(), [](EnvApi&, const Args& a) {
-    std::vector<std::uint8_t> out = *a[0].as_blob();
-    const auto& b = *a[1].as_blob();
-    out.insert(out.end(), b.begin(), b.end());
-    return Value::of_blob(std::move(out));
-  });
-  add("blobFromString", {S()}, BL(), [](EnvApi&, const Args& a) {
-    const std::string& s = a[0].as_string();
-    return Value::of_blob(std::vector<std::uint8_t>(s.begin(), s.end()));
-  });
-  add("blobToString", {BL()}, S(), [](EnvApi&, const Args& a) {
-    const auto& b = *a[0].as_blob();
-    return Value::of_string(std::string(b.begin(), b.end()));
-  });
+      /*may_raise=*/true, /*cost=*/32);
+  add("blobCat", {BL(), BL()}, BL(),
+      [](EnvApi&, const Args& a) {
+        std::vector<std::uint8_t> out = *a[0].as_blob();
+        const auto& b = *a[1].as_blob();
+        out.insert(out.end(), b.begin(), b.end());
+        return Value::of_blob(std::move(out));
+      },
+      /*may_raise=*/false, /*cost=*/32);
+  add("blobFromString", {S()}, BL(),
+      [](EnvApi&, const Args& a) {
+        const std::string& s = a[0].as_string();
+        return Value::of_blob(std::vector<std::uint8_t>(s.begin(), s.end()));
+      },
+      /*may_raise=*/false, /*cost=*/16);
+  add("blobToString", {BL()}, S(),
+      [](EnvApi&, const Args& a) {
+        const auto& b = *a[0].as_blob();
+        return Value::of_string(std::string(b.begin(), b.end()));
+      },
+      /*may_raise=*/false, /*cost=*/16);
+  // 64-bit little-endian field access, for binary wire formats (the scenario
+  // cache profile's object ids / sequence numbers). Both are TOTAL — an
+  // out-of-range offset reads 0 / writes nothing — so verified caching ASPs
+  // can parse packets without a try (a raising read would cost them the
+  // guaranteed-delivery verdict; see cacheGetDefault below).
+  add("blobInt", {BL(), I()}, I(),
+      [](EnvApi&, const Args& a) {
+        const auto& b = *a[0].as_blob();
+        std::int64_t off = a[1].as_int();
+        if (off < 0 || off + 8 > static_cast<std::int64_t>(b.size())) {
+          return Value::of_int(0);
+        }
+        std::uint64_t v = 0;
+        std::memcpy(&v, b.data() + off, 8);  // LE hosts only, like sample16
+        return Value::of_int(static_cast<std::int64_t>(v));
+      },
+      /*may_raise=*/false, /*cost=*/2);
+  add("blobPutInt", {BL(), I(), I()}, BL(),
+      [](EnvApi&, const Args& a) {
+        const auto& b = *a[0].as_blob();
+        std::int64_t off = a[1].as_int();
+        if (off < 0 || off + 8 > static_cast<std::int64_t>(b.size())) {
+          return a[0];  // nothing to patch: the blob passes through unchanged
+        }
+        // Copy into a pooled buffer (capacity guaranteed, so the assignment
+        // does not allocate in steady state), then patch the field.
+        net::Buffer out = net::acquire_buffer(b.size());
+        auto& bytes = const_cast<std::vector<std::uint8_t>&>(*out);
+        bytes = b;
+        std::uint64_t v = static_cast<std::uint64_t>(a[2].as_int());
+        std::memcpy(bytes.data() + off, &v, 8);
+        return Value::of_blob_shared(std::move(out));
+      },
+      /*may_raise=*/false, /*cost=*/32);
 
   // --- audio transcoding (paper §3.1: degrade 16-bit stereo to 8-bit mono) ----
-  add("audioStereoToMono", {BL()}, BL(), [](EnvApi&, const Args& a) {
-    return Value::of_blob(audio_stereo_to_mono16(*a[0].as_blob()));
-  });
-  add("audioMonoToStereo", {BL()}, BL(), [](EnvApi&, const Args& a) {
-    return Value::of_blob(audio_mono_to_stereo16(*a[0].as_blob()));
-  });
-  add("audio16To8", {BL()}, BL(), [](EnvApi&, const Args& a) {
-    return Value::of_blob(audio_16_to_8(*a[0].as_blob()));
-  });
-  add("audio8To16", {BL()}, BL(), [](EnvApi&, const Args& a) {
-    return Value::of_blob(audio_8_to_16(*a[0].as_blob()));
-  });
+  add("audioStereoToMono", {BL()}, BL(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_blob(audio_stereo_to_mono16(*a[0].as_blob()));
+      },
+      /*may_raise=*/false, /*cost=*/64);
+  add("audioMonoToStereo", {BL()}, BL(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_blob(audio_mono_to_stereo16(*a[0].as_blob()));
+      },
+      /*may_raise=*/false, /*cost=*/64);
+  add("audio16To8", {BL()}, BL(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_blob(audio_16_to_8(*a[0].as_blob()));
+      },
+      /*may_raise=*/false, /*cost=*/64);
+  add("audio8To16", {BL()}, BL(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_blob(audio_8_to_16(*a[0].as_blob()));
+      },
+      /*may_raise=*/false, /*cost=*/64);
 
   // --- image distillation (paper §5: "integration of image distillation
   // support into PLAN-P" for low-bandwidth adaptation) -------------------------
@@ -395,7 +458,68 @@ Primitives::Primitives() {
         }
         return Value::of_blob(std::move(out));
       },
-      /*may_raise=*/true);
+      /*may_raise=*/true, /*cost=*/64);
+
+  // --- object cache (HTTP edge caching ASPs; planp/cache.hpp, DESIGN.md §6i) --
+  // Keys are 64-bit FNV-1a digests carried as PLAN-P ints; bodies are blobs
+  // aliased into the node's CacheStore, so a fill pins the packet's pooled
+  // payload buffer and an eviction releases it — no copies on either side.
+  add("cacheConfigure", {I(), I()}, U(),
+      [](EnvApi& env, const Args& a) {
+        env.cache().configure(
+            static_cast<std::size_t>(std::max<std::int64_t>(1, a[0].as_int())),
+            a[1].as_int());
+        return Value::unit();
+      },
+      /*may_raise=*/false, /*cost=*/64);
+  add("cacheKey", {S(), H(), S()}, I(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_int(static_cast<std::int64_t>(CacheStore::key_of(
+            a[0].as_string(), a[1].as_host().bits(), a[2].as_string())));
+      },
+      /*may_raise=*/false, /*cost=*/8);
+  add("cacheKey", {I(), H()}, I(),
+      [](EnvApi&, const Args& a) {
+        return Value::of_int(static_cast<std::int64_t>(CacheStore::key_of(
+            static_cast<std::uint64_t>(a[0].as_int()), a[1].as_host().bits())));
+      },
+      /*may_raise=*/false, /*cost=*/2);
+  add(
+      "cacheLookup", {I()}, BL(),
+      [](EnvApi& env, const Args& a) {
+        const net::Buffer* b = env.cache().lookup(
+            static_cast<std::uint64_t>(a[0].as_int()), env.time_ms());
+        if (b == nullptr) raise("CacheMiss");
+        return Value::of_blob_shared(*b);
+      },
+      /*may_raise=*/true, /*cost=*/8);
+  // Non-raising lookup (mirrors tableGetDefault): the form verified caching
+  // ASPs use on the fast path — a raising call would force a try whose
+  // handler either re-sends (breaking the duplication analysis, which sums a
+  // try's body and handler) or drops (breaking guaranteed delivery).
+  add("cacheGetDefault", {I(), BL()}, BL(),
+      [](EnvApi& env, const Args& a) {
+        const net::Buffer* b = env.cache().lookup(
+            static_cast<std::uint64_t>(a[0].as_int()), env.time_ms());
+        return b == nullptr ? a[1] : Value::of_blob_shared(*b);
+      },
+      /*may_raise=*/false, /*cost=*/8);
+  add("cacheStore", {I(), BL()}, U(),
+      [](EnvApi& env, const Args& a) {
+        env.cache().store(static_cast<std::uint64_t>(a[0].as_int()),
+                          a[1].as_blob(), env.time_ms());
+        return Value::unit();
+      },
+      /*may_raise=*/false, /*cost=*/8);
+  add("cacheHas", {I()}, B(),
+      [](EnvApi& env, const Args& a) {
+        return Value::of_bool(env.cache().contains(
+            static_cast<std::uint64_t>(a[0].as_int()), env.time_ms()));
+      },
+      /*may_raise=*/false, /*cost=*/4);
+  add("cacheSize", {}, I(), [](EnvApi& env, const Args&) {
+    return Value::of_int(static_cast<std::int64_t>(env.cache().size()));
+  });
 
   // --- environment ------------------------------------------------------------
   add("thisHost", {}, H(),

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,11 +21,17 @@
 
 namespace asp::planp {
 
+class CacheStore;  // planp/cache.hpp
+
 /// What a running PLAN-P program can observe/do in its host node. Implemented
 /// by the ASP runtime (src/runtime); tests use lightweight fakes.
 class EnvApi {
  public:
-  virtual ~EnvApi() = default;
+  // Constructor/destructor live in cache.cpp: default_cache_ is a
+  // unique_ptr to the forward-declared CacheStore, so both members that
+  // could destroy it must be out of line.
+  EnvApi();
+  virtual ~EnvApi();
 
   /// `print`/`println` output sink.
   virtual void print(const std::string& s) = 0;
@@ -59,6 +66,15 @@ class EnvApi {
   virtual void on_neighbor(std::uint32_t chan_tag, const Value& packet) {
     on_neighbor(net::ChannelTags::name_of(chan_tag), packet);
   }
+
+  /// The node's object cache, backing the cache* primitives (planp/cache.hpp,
+  /// DESIGN.md §6i). The default is a lazily created private store with no
+  /// obs mirror — enough for tests and NullEnv; AspRuntime overrides it with
+  /// the node's store so counters land under cache/<node>/*.
+  virtual CacheStore& cache();
+
+ private:
+  std::unique_ptr<CacheStore> default_cache_;  // backs the default cache()
 };
 
 /// EnvApi that ignores sends and collects prints; for tests and pure bench.
@@ -97,6 +113,9 @@ struct Primitive {
   TypePtr ret;
   bool may_raise = false;  // used by the guaranteed-delivery analysis
   std::function<Value(EnvApi&, const std::vector<Value>&)> fn;
+  /// Abstract work units charged by the bounded-cost analysis (analysis.cpp):
+  /// 1 for scalar ops, more for ops that touch whole payloads or state.
+  int cost = 1;
 };
 
 /// The global primitive table. Indices are stable: Expr::call_target holds one.

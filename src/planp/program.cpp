@@ -26,6 +26,9 @@ VerificationError::VerificationError(const AnalysisReport& report) : report_(rep
   if (!report.linear_duplication) {
     message_ += " [duplication] " + report.duplication_detail + ";";
   }
+  if (!report.cost_bounded) {
+    message_ += " [cost bound] " + report.cost_detail + ";";
+  }
   if (!report.local_termination) message_ += " [local termination];";
 }
 

@@ -20,6 +20,60 @@ channel network(ps : int, ss : unit, p : ip*udp*blob) is
 )";
 }
 
+/// The edge-cache ASP ([asp] cache = planp): serves single-frame object
+/// responses out of the edge router's object cache. The workload wire
+/// format carries [obj:8] at request byte 16 and echoes it at response
+/// byte 13 (single-frame responses only — see workload.cpp); profiles
+/// without objects put 0 there, which this ASP ignores.
+///
+/// Fully verified, same shape as asps/cache_proxy.planp: hits ride the
+/// destination-preserving `hit` channel (global termination), the lookup is
+/// one non-raising cacheGetDefault and the field reads are total blobInt
+/// (guaranteed delivery + linear duplication), so install() runs with the
+/// default require-verified options.
+std::string edge_cache_asp(int entries, std::int64_t ttl_ms) {
+  return std::string(R"(-- scenario edge cache: serve single-frame object responses from the edge
+val serverPort : int = 9000
+val cacheEntries : int = )") + std::to_string(entries) + R"(
+val cacheTtlMs : int = )" + std::to_string(ttl_ms) + R"(
+
+channel network(ps : int, ss : unit, p : ip*udp*blob)
+initstate cacheConfigure(cacheEntries, cacheTtlMs) is
+  let val iph : ip = #1 p
+      val udph : udp = #2 p
+      val b : blob = #3 p
+  in
+    if udpDst(udph) = serverPort and blobInt(b, 16) > 0 then
+      -- Object request: one non-raising lookup; on a hit, reply with the
+      -- cached frame, its seq field rewritten to the requester's so the
+      -- client's closed loop matches it.
+      let val cached : blob =
+            cacheGetDefault(cacheKey(blobInt(b, 16), ipDst(iph)),
+                            blobFromString(""))
+      in
+        if blobLen(cached) > 0 then
+          (OnRemote(hit, (ipDestSet(ipSrcSet(iph, ipDst(iph)), ipSrc(iph)),
+                          udpSrcSet(udpDstSet(udph, udpSrc(udph)), serverPort),
+                          blobPutInt(cached, 0, blobInt(b, 0))));
+           (ps + 1, ss))
+        else (OnRemote(network, p); (ps, ss))
+      end
+    else
+      if udpSrc(udph) = serverPort and blobInt(b, 13) > 0 then
+        -- Single-frame object response from a server: fill, then forward.
+        (cacheStore(cacheKey(blobInt(b, 13), ipSrc(iph)), b);
+         OnRemote(network, p); (ps, ss))
+      else
+        (OnRemote(network, p); (ps, ss))
+  end
+
+-- Hits in transit: edge routers between the serving cache and the client
+-- forward them without re-filling (a hit is not an origin response).
+channel hit(ps : int, ss : unit, p : ip*udp*blob) is
+  (OnRemote(hit, p); (ps, ss))
+)";
+}
+
 void add_impairments(net::Medium* m, const ImpairmentConfig& c,
                      std::uint64_t salt) {
   net::Impairments imp;
@@ -42,6 +96,71 @@ void append_kv(std::string& out, const char* key, std::uint64_t v, bool last = f
 
 }  // namespace
 
+/// The native edge cache ([asp] cache = native): the edge_cache_asp()
+/// policy hand-written as a C++ IP hook — the planp-vs-native pair that
+/// makes PLAN-P's interpretation overhead measurable at scenario scale
+/// (the small-rig twin lives in src/apps/cache). Hit replies carry the
+/// same `hit` channel tag the ASP uses, and tagged packets pass through
+/// untouched, so both tiers fill and serve identically along a path.
+class EdgeCache {
+ public:
+  EdgeCache(net::Node& router, std::size_t entries, std::int64_t ttl_ms)
+      : node_(router), store_("cache/" + router.name()) {
+    store_.configure(entries, ttl_ms);
+    node_.set_ip_hook(
+        [this](net::Packet& p, net::Interface&) { return on_packet(p); });
+  }
+
+  const planp::CacheStore& store() const { return store_; }
+
+ private:
+  static std::uint64_t le64(const std::vector<std::uint8_t>& v, std::size_t at) {
+    std::uint64_t x = 0;
+    if (at + 8 > v.size()) return 0;  // total, like the ASP's blobInt
+    for (std::size_t i = 0; i < 8; ++i) x |= std::uint64_t{v[at + i]} << (i * 8);
+    return x;
+  }
+
+  bool on_packet(net::Packet& p) {
+    if (!p.udp || p.channel_tag != 0) return false;  // hits pass through
+    const std::vector<std::uint8_t>& b = p.payload.bytes();
+    const auto now_ms =
+        static_cast<std::int64_t>(node_.events().now() / net::kNsPerMs);
+
+    // Object request toward a server: serve a held copy from the edge.
+    if (p.udp->dport == kServerPort && le64(b, 16) != 0) {
+      const std::uint64_t key =
+          planp::CacheStore::key_of(le64(b, 16), p.ip.dst.bits());
+      if (const net::Buffer* body = store_.lookup(key, now_ms)) {
+        // Copy the cached frame (pooled; capacity guaranteed) and rewrite
+        // its seq field to the requester's.
+        net::Buffer out = net::acquire_buffer((*body)->size());
+        auto& bytes = const_cast<std::vector<std::uint8_t>&>(*out);
+        bytes = **body;
+        for (std::size_t i = 0; i < 8; ++i) bytes[i] = b[i];
+        net::Packet reply = net::Packet::make_udp(
+            p.ip.dst, p.ip.src, kServerPort, p.udp->sport,
+            net::Payload(std::move(out)));
+        reply.set_channel("hit");
+        reply.id = node_.next_packet_id();
+        node_.forward(std::move(reply));
+        return true;  // consumed: the request never reaches the server
+      }
+      return false;  // miss: standard forwarding continues toward the server
+    }
+
+    // Single-frame object response from a server: fill, let it continue.
+    if (p.udp->sport == kServerPort && le64(b, 13) != 0) {
+      store_.store(planp::CacheStore::key_of(le64(b, 13), p.ip.src.bits()),
+                   p.payload.buffer(), now_ms);
+    }
+    return false;
+  }
+
+  net::Node& node_;
+  planp::CacheStore store_;
+};
+
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   // Coarse metrics: one aggregate instrument set instead of ~14 per
   // node/medium — see obs::instance_metrics_enabled().
@@ -53,6 +172,19 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
       auto rt = std::make_unique<runtime::AspRuntime>(*r);
       rt->install(monitor_asp());
       monitors_.push_back(std::move(rt));
+    }
+  }
+  if (cfg_.asp_cache == "planp") {
+    const std::string src = edge_cache_asp(cfg_.cache_entries, cfg_.cache_ttl_ms);
+    for (net::Node* r : topo_.edge_routers) {
+      auto rt = std::make_unique<runtime::AspRuntime>(*r);
+      rt->install(src);  // default options: the protocol must verify
+      cache_asps_.push_back(std::move(rt));
+    }
+  } else if (cfg_.asp_cache == "native") {
+    for (net::Node* r : topo_.edge_routers) {
+      cache_native_.push_back(std::make_unique<EdgeCache>(
+          *r, static_cast<std::size_t>(cfg_.cache_entries), cfg_.cache_ttl_ms));
     }
   }
 }
@@ -106,6 +238,14 @@ ScenarioMetrics Scenario::run(int shards) {
     m.asp_handled += s.packets_handled;
     m.asp_sent += s.packets_sent;
   }
+  auto add_cache = [&m](const planp::CacheStore::Stats& s) {
+    m.cache_hits += s.hits;
+    m.cache_misses += s.misses;
+    m.cache_fills += s.fills;
+    m.cache_evictions += s.evictions;
+  };
+  for (const auto& rt : cache_asps_) add_cache(rt->cache().stats());
+  for (const auto& ec : cache_native_) add_cache(ec->store().stats());
   m.shards = exec ? exec->shard_count() : 1;
   m.islands = exec ? exec->island_count() : 0;
   return m;
@@ -126,6 +266,9 @@ std::string ScenarioMetrics::to_json() const {
   append_kv(out, "frames_rx", workload.frames_rx);
   append_kv(out, "latency_sum_ns", workload.latency_sum_ns);
   append_kv(out, "latency_max_ns", workload.latency_max_ns);
+  append_kv(out, "latency_p50_ns", workload.latency_quantile_ns(0.50));
+  append_kv(out, "latency_p99_ns", workload.latency_quantile_ns(0.99));
+  append_kv(out, "origin_requests", workload.origin_requests);
   append_kv(out, "delivered_packets", delivered_packets);
   append_kv(out, "delivered_bytes", delivered_bytes);
   append_kv(out, "dropped_queue", dropped_queue);
@@ -133,7 +276,11 @@ std::string ScenarioMetrics::to_json() const {
   append_kv(out, "dropped_down", dropped_down);
   append_kv(out, "dropped_unaddressed", dropped_unaddressed);
   append_kv(out, "asp_handled", asp_handled);
-  append_kv(out, "asp_sent", asp_sent, /*last=*/true);
+  append_kv(out, "asp_sent", asp_sent);
+  append_kv(out, "cache_hits", cache_hits);
+  append_kv(out, "cache_misses", cache_misses);
+  append_kv(out, "cache_fills", cache_fills);
+  append_kv(out, "cache_evictions", cache_evictions, /*last=*/true);
   out += "}\n";
   return out;
 }

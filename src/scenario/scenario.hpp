@@ -24,6 +24,8 @@ class AspRuntime;
 
 namespace asp::scenario {
 
+class EdgeCache;  // the native (hand-written C++) edge cache; scenario.cpp
+
 /// Everything a scenario run reports. All fields are byte-identical across
 /// shard counts except `shards`/`islands`, which to_json() therefore omits.
 struct ScenarioMetrics {
@@ -42,6 +44,12 @@ struct ScenarioMetrics {
   // Summed over installed monitor runtimes (0 when asp_monitors = none).
   std::uint64_t asp_handled = 0;
   std::uint64_t asp_sent = 0;
+  // Summed over the edge cache tier in edge-router order (0 when
+  // asp_cache = none). origin_requests lives in `workload`.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cache_evictions = 0;
   // Execution details — NOT serialized (differ across shard counts).
   int shards = 1;
   int islands = 0;
@@ -76,6 +84,9 @@ class Scenario {
   BuiltTopology topo_;
   std::unique_ptr<Workload> workload_;
   std::vector<std::unique_ptr<runtime::AspRuntime>> monitors_;
+  // The edge cache tier, one per edge router ([asp] cache = planp|native).
+  std::vector<std::unique_ptr<runtime::AspRuntime>> cache_asps_;
+  std::vector<std::unique_ptr<EdgeCache>> cache_native_;
 };
 
 }  // namespace asp::scenario

@@ -115,7 +115,9 @@ bool apply_workload(Ctx& c, const std::string& k, const std::string& v) {
   int n;
   if (k == "profile") {
     w.profile = v;
-    if (!w.apply_profile()) return c.fail("profile must be http|audio|mpeg");
+    if (!w.apply_profile()) {
+      return c.fail("profile must be http|audio|mpeg|cache");
+    }
     return true;
   }
   if (k == "users") return to_u64(v, w.users) || c.fail("users: not an integer");
@@ -144,13 +146,36 @@ bool apply_workload(Ctx& c, const std::string& k, const std::string& v) {
     w.frame_bytes = static_cast<std::uint32_t>(n);
     return true;
   }
+  if (k == "objects") return to_u64(v, w.objects) || c.fail("objects: not an integer");
+  if (k == "zipf_skew") {
+    if (!to_double(v, d) || d < 0) return c.fail("zipf_skew: bad value");
+    w.zipf_skew = d;
+    return true;
+  }
   return c.fail("unknown [workload] key: " + k);
 }
 
 bool apply_asp(Ctx& c, const std::string& k, const std::string& v) {
+  int n;
   if (k == "monitors") {
     if (v != "none" && v != "core") return c.fail("monitors must be none|core");
     c.cfg->asp_monitors = v;
+    return true;
+  }
+  if (k == "cache") {
+    if (v != "none" && v != "planp" && v != "native")
+      return c.fail("cache must be none|planp|native");
+    c.cfg->asp_cache = v;
+    return true;
+  }
+  if (k == "cache_entries") {
+    if (!to_int(v, n) || n < 1) return c.fail("cache_entries: bad value");
+    c.cfg->cache_entries = n;
+    return true;
+  }
+  if (k == "cache_ttl_ms") {
+    if (!to_int(v, n) || n < 0) return c.fail("cache_ttl_ms: bad value");
+    c.cfg->cache_ttl_ms = n;
     return true;
   }
   return c.fail("unknown [asp] key: " + k);

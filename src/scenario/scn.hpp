@@ -13,13 +13,16 @@
 //   seed = 7
 //
 //   [workload]
-//   profile = http        # http | audio | mpeg (sets the shape defaults)
+//   profile = http        # http | audio | mpeg | cache (shape defaults)
 //   users = 100000
 //   think_ms = 3000
 //
 //   [asp]
 //   monitors = core       # none | core: counting-forwarder ASPs on the
 //                         # transit tier (BuiltTopology::top_routers)
+//   cache = planp         # none | planp | native: object cache on the edge
+//   cache_entries = 512   # tier (BuiltTopology::edge_routers)
+//   cache_ttl_ms = 0      # 0 = entries never expire
 //
 //   [run]
 //   shards = 4
@@ -65,6 +68,12 @@ struct ScenarioConfig {
   ImpairmentConfig impairments;
   WorkloadParams workload;
   std::string asp_monitors = "none";  // none | core
+  // In-network caching tier on BuiltTopology::edge_routers: none, `planp`
+  // (the verified edge-cache ASP) or `native` (the hand-written C++ hook —
+  // same policy, for measuring the interpretation overhead).
+  std::string asp_cache = "none";  // none | planp | native
+  int cache_entries = 256;
+  std::int64_t cache_ttl_ms = 0;  // 0 = no expiry
   RunConfig run;
 };
 

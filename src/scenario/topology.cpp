@@ -69,6 +69,7 @@ BuiltTopology build_fat_tree(Network& net, const TopologyParams& p) {
       n.reserve_ifaces(static_cast<std::size_t>(hpe + half));
       edge[static_cast<std::size_t>(pod)].push_back(&n);
       out.routers.push_back(&n);
+      out.edge_routers.push_back(&n);
     }
     for (int a = 0; a < half; ++a) {
       Node& n = net.add_router("a" + std::to_string(pod) + "_" + std::to_string(a));
@@ -247,6 +248,7 @@ BuiltTopology build_as_hierarchy(Network& net, const TopologyParams& p) {
       Node& r = net.add_router("s" + std::to_string(g));
       r.reserve_ifaces(static_cast<std::size_t>(hps + 1));
       out.routers.push_back(&r);
+      out.edge_routers.push_back(&r);
       for (int h = 0; h < hps; ++h) {
         Node& host = net.add_node("s" + std::to_string(g) + "_h" + std::to_string(h));
         auto lo = static_cast<std::uint8_t>(4 * h);
@@ -337,6 +339,7 @@ BuiltTopology build_metro_access(Network& net, const TopologyParams& p) {
       Node& ag = net.add_router("m" + std::to_string(m) + "_a" + std::to_string(a));
       ag.reserve_ifaces(static_cast<std::size_t>(ln + 1));
       out.routers.push_back(&ag);
+      out.edge_routers.push_back(&ag);
       auto [ma, mb] = fabric.next();
       out.fabric_media.push_back(
           &net.link(metro, ma, ag, mb, p.edge_bps, p.fabric_delay, 64 * 1024, 30));

@@ -78,6 +78,11 @@ struct BuiltTopology {
   /// The transit tier ASP monitors install on (fat_tree: cores,
   /// as_hierarchy: tier-1 backbone, metro_access: the core router).
   std::vector<net::Node*> top_routers;
+  /// The last router before the hosts — where caching ASPs install
+  /// (fat_tree: edge switches, as_hierarchy: stub routers, metro_access:
+  /// aggregation routers). Every host-to-host path crosses the edge router
+  /// of each endpoint, so an edge cache sees all of its hosts' traffic.
+  std::vector<net::Node*> edge_routers;
   /// Media created by the generator, tagged by role for impairment scoping:
   /// access media touch a host, fabric media are router-router.
   std::vector<net::Medium*> access_media;

@@ -28,6 +28,7 @@
 // are byte-identical across shard counts (tests/scenario_test.cpp pins it).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -39,7 +40,7 @@ namespace asp::scenario {
 
 /// Traffic shape + closed-loop parameters for one scenario.
 struct WorkloadParams {
-  std::string profile = "http";  // http | audio | mpeg (sets sizes below)
+  std::string profile = "http";  // http | audio | mpeg | cache (sizes below)
   std::uint64_t users = 1000;    // total modeled users across all bundles
   double think_mean_ms = 3000;   // mean think time per user
   net::SimTime timeout = net::millis(2000);
@@ -50,6 +51,13 @@ struct WorkloadParams {
   std::uint32_t request_bytes = 200;
   std::uint32_t frames_per_response = 4;
   std::uint32_t frame_bytes = 1400;
+
+  // Cacheable-object universe (cache profile; 0 disables object ids and
+  // keeps the wire format byte-identical to the original three profiles).
+  // Requests carry a Zipf-drawn object id; servers echo it into single-frame
+  // responses so in-network caches can index what they forward.
+  std::uint64_t objects = 0;
+  double zipf_skew = 1.0;
 
   /// Applies the named profile's shape defaults. Unknown profile -> false.
   bool apply_profile();
@@ -67,6 +75,18 @@ struct WorkloadStats {
   std::uint64_t frames_rx = 0;
   std::uint64_t latency_sum_ns = 0;  // over completed requests
   std::uint64_t latency_max_ns = 0;
+  std::uint64_t origin_requests = 0;  // requests that reached a server (an
+                                      // in-network cache hit never does)
+  /// log2 histogram of completed-request latency: bucket b counts latencies
+  /// with bit_width(ns) == b, i.e. in [2^(b-1), 2^b). Integer buckets sum
+  /// deterministically across bundles and shard counts, which a sorted
+  /// sample list would not (it is O(completed) state per bundle).
+  std::array<std::uint64_t, 65> latency_hist{};
+
+  /// Latency quantile from the histogram: the upper bound (2^b - 1 ns) of
+  /// the first bucket whose cumulative count reaches q * completed.
+  /// Deterministic and conservative to within the 2x bucket resolution.
+  std::uint64_t latency_quantile_ns(double q) const;
 };
 
 class ClientBundle;
@@ -96,6 +116,8 @@ class Workload {
  private:
   std::unique_ptr<std::vector<net::Ipv4Addr>> server_addrs_;  // stable: bundles
                                                               // hold a pointer
+  std::unique_ptr<std::vector<double>> zipf_cdf_;  // shared Zipf table (may be
+                                                   // empty: objects == 0)
   std::vector<std::unique_ptr<ServerApp>> servers_;
   std::vector<std::unique_ptr<ClientBundle>> bundles_;
 };

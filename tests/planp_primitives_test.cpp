@@ -188,6 +188,39 @@ TEST(Primitives, BlobFamily) {
             "abcd");
 }
 
+// blobInt/blobPutInt are TOTAL (out-of-range reads 0 / writes nothing) so
+// verified ASPs — where a raise on every path fails guaranteed delivery —
+// can parse binary packet fields without a try. The edge-cache ASP depends
+// on this contract.
+TEST(Primitives, BlobIntIsTotalLittleEndian) {
+  // "ABCDEFGH" little-endian u64 = 0x4847464544434241.
+  EXPECT_EQ(eval_int("blobInt(blobFromString(\"ABCDEFGH\"), 0)"),
+            0x4847464544434241LL);
+  // Out of range (short blob, negative offset, past-the-end) reads 0.
+  EXPECT_EQ(eval_int("blobInt(blobFromString(\"short\"), 0)"), 0);
+  EXPECT_EQ(eval_int("blobInt(blobFromString(\"ABCDEFGH\"), 1)"), 0);
+  EXPECT_EQ(eval_int("blobInt(blobFromString(\"ABCDEFGH\"), -1)"), 0);
+}
+
+TEST(Primitives, BlobPutIntIsTotalAndRoundTrips) {
+  EXPECT_EQ(eval_int("blobInt(blobPutInt(blobFromString(\"xxxxxxxx\"), 0, 7), 0)"),
+            7);
+  // Out-of-range writes return the blob unchanged, not a raise.
+  EXPECT_EQ(eval_str("blobToString(blobPutInt(blobFromString(\"ab\"), 0, 7))"),
+            "ab");
+  // Patch bytes [1, 9): length and the bytes outside the window survive.
+  EXPECT_EQ(eval_int("blobLen(blobPutInt(blobFromString(\"ABCDEFGHI\"), 1, 0))"),
+            9);
+  EXPECT_EQ(eval_int("blobByte(blobPutInt(blobFromString(\"ABCDEFGHI\"), 1, 0), 0)"),
+            65);  // 'A'
+  EXPECT_EQ(eval_int("blobByte(blobPutInt(blobFromString(\"ABCDEFGHI\"), 1, 0), 4)"),
+            0);
+  // The original blob is not mutated in place (pooled copy-on-write).
+  EXPECT_EQ(eval_str("let val b : blob = blobFromString(\"AAAAAAAA\") in "
+                     "(blobPutInt(b, 0, 0); blobToString(b)) end"),
+            "AAAAAAAA");
+}
+
 // --- audio --------------------------------------------------------------------------
 
 TEST(Primitives, AudioChainHalvesAtEachStage) {

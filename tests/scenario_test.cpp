@@ -198,6 +198,55 @@ TEST(ScnParser, RejectsBadValues) {
   EXPECT_FALSE(parse_scn("[asp]\nmonitors = everywhere\n", cfg, err));
 }
 
+TEST(ScnParser, CacheProfileSetsObjectUniverse) {
+  ScenarioConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_scn("[workload]\nprofile = cache\n", cfg, err)) << err;
+  EXPECT_EQ(cfg.workload.request_bytes, 64u);
+  EXPECT_EQ(cfg.workload.frames_per_response, 1u);  // single-frame: cacheable
+  EXPECT_EQ(cfg.workload.objects, 512u);
+  EXPECT_DOUBLE_EQ(cfg.workload.zipf_skew, 1.0);
+  // Non-cache profiles must NOT leak an object universe (obj=0 on the wire
+  // keeps their packet bytes — and goldens — unchanged).
+  ASSERT_TRUE(parse_scn("[workload]\nprofile = audio\n", cfg, err)) << err;
+  EXPECT_EQ(cfg.workload.objects, 0u);
+}
+
+TEST(ScnParser, RejectsCacheProfileTypoWithLineNumber) {
+  ScenarioConfig cfg;
+  std::string err;
+  EXPECT_FALSE(parse_scn("[workload]\nusers = 10\nprofile = cachee\n", cfg, err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("http|audio|mpeg|cache"), std::string::npos) << err;
+}
+
+TEST(ScnParser, ParsesAspCacheKeys) {
+  ScenarioConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_scn(
+      "[asp]\ncache = native\ncache_entries = 64\ncache_ttl_ms = 250\n", cfg,
+      err))
+      << err;
+  EXPECT_EQ(cfg.asp_cache, "native");
+  EXPECT_EQ(cfg.cache_entries, 64);
+  EXPECT_EQ(cfg.cache_ttl_ms, 250);
+  // Defaults when the section never mentions a cache tier.
+  ScenarioConfig fresh;
+  ASSERT_TRUE(parse_scn("[asp]\nmonitors = core\n", fresh, err)) << err;
+  EXPECT_EQ(fresh.asp_cache, "none");
+}
+
+TEST(ScnParser, RejectsBadAspCacheValuesWithLineNumbers) {
+  ScenarioConfig cfg;
+  std::string err;
+  EXPECT_FALSE(parse_scn("[asp]\ncache = squid\n", cfg, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_FALSE(parse_scn("[asp]\ncache = planp\ncache_entries = 0\n", cfg, err));
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_FALSE(parse_scn("[asp]\ncache_ttl_ms = -5\n", cfg, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end determinism on the checked-in 1k-node scenario: a serial run
 // and a 4-shard run of the same .scn must serialize byte-identical metrics
@@ -249,6 +298,68 @@ TEST(ScenarioDeterminism, RebuildReproducesMetrics) {
     second = sc.run(2).to_json();
   }
   EXPECT_EQ(first, second);
+}
+
+// The verified edge-cache tier on the checked-in cache scenario: hits must
+// happen, hits must offload the origin relative to completed fetches, and
+// the metrics JSON must stay byte-identical serial vs sharded (the cache
+// counters are part of the serialized surface, so this also witnesses that
+// per-edge CacheStore state aggregates deterministically).
+TEST(ScenarioCache, EdgeCacheHitsAndStaysDeterministic) {
+  ScenarioConfig cfg;
+  std::string err;
+  ASSERT_TRUE(load_scn_file(
+      std::string(ASP_SCENARIO_DIR) + "/fat_tree_cache.scn", cfg, err))
+      << err;
+  ASSERT_EQ(cfg.asp_cache, "planp");
+  cfg.run.duration = net::millis(120);  // tier-1 sized; plenty of re-fetches
+
+  std::string serial, sharded;
+  ScenarioMetrics ms;
+  {
+    Scenario sc(cfg);
+    ms = sc.run(1);
+    serial = ms.to_json();
+  }
+  EXPECT_GT(ms.cache_hits, 0u);
+  EXPECT_GT(ms.cache_fills, 0u);
+  EXPECT_GT(ms.workload.completed, 0u);
+  // Every completed fetch is either served at the edge or by the origin.
+  EXPECT_LT(ms.workload.origin_requests, ms.workload.completed);
+  {
+    Scenario sc(cfg);
+    sharded = sc.run(4).to_json();
+  }
+  EXPECT_EQ(serial, sharded);
+}
+
+// The hand-written native hook is a drop-in twin of the PLAN-P ASP: same
+// scenario, same seed, exactly the same cache verdicts and origin load.
+TEST(ScenarioCache, NativeTierMatchesPlanpVerdicts) {
+  ScenarioConfig cfg;
+  std::string err;
+  ASSERT_TRUE(load_scn_file(
+      std::string(ASP_SCENARIO_DIR) + "/fat_tree_cache.scn", cfg, err))
+      << err;
+  cfg.run.duration = net::millis(120);
+
+  ScenarioMetrics planp, native;
+  {
+    cfg.asp_cache = "planp";
+    Scenario sc(cfg);
+    planp = sc.run(1);
+  }
+  {
+    cfg.asp_cache = "native";
+    Scenario sc(cfg);
+    native = sc.run(1);
+  }
+  EXPECT_EQ(planp.cache_hits, native.cache_hits);
+  EXPECT_EQ(planp.cache_misses, native.cache_misses);
+  EXPECT_EQ(planp.cache_fills, native.cache_fills);
+  EXPECT_EQ(planp.workload.origin_requests, native.workload.origin_requests);
+  EXPECT_EQ(planp.workload.completed, native.workload.completed);
+  EXPECT_GT(planp.cache_hits, 0u);
 }
 
 // The ASP monitor tier actually sees traffic: metro_access with monitors=core

@@ -27,6 +27,7 @@ int main() {
   w("asps/mpeg_capture.planp",
     apps::mpeg_capture_asp(net::ip("192.168.1.1"), 7000, 7010));
   w("asps/image_distill.planp", apps::image_distill_asp());
+  w("asps/cache_proxy.planp", apps::cache_proxy_asp(net::ip("10.0.2.1")));
   w("asps/bridge.planp", apps::bridge_asp());
   w("asps/audio_router_hysteresis.planp", apps::audio_router_hysteresis_asp());
   return 0;
